@@ -1,0 +1,29 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/parser"
+	"repro/internal/simhost"
+	"repro/internal/source"
+)
+
+// mustOutline parses a generated workload for the scheduling ablations.
+func mustOutline(b *testing.B, src []byte) *parser.Outline {
+	b.Helper()
+	var bag source.DiagBag
+	o := parser.ParseOutline("bench.w2", src, &bag)
+	if o == nil || bag.HasErrors() {
+		b.Fatal(bag.String())
+	}
+	return o
+}
+
+func experimentsSimulateFCFS(o *parser.Outline, p int) float64 {
+	return simhost.SimulateParallel(o, costmodel.Default1989(), p, simhost.FCFS).Elapsed
+}
+
+func experimentsSimulateGrouped(o *parser.Outline, p int) float64 {
+	return simhost.SimulateParallel(o, costmodel.Default1989(), p, simhost.Grouped).Elapsed
+}

@@ -1,0 +1,52 @@
+// Command benchfig regenerates every figure of the paper's evaluation on
+// the calibrated host simulation and prints the series. Run without
+// arguments it prints all figures; with -fig it prints one.
+//
+// Usage:
+//
+//	benchfig             # all figures
+//	benchfig -fig 6      # Figure 6 only
+//	benchfig -list       # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure selector (e.g. 6, 11, katseff, headline, pmake)")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	pm := costmodel.Default1989()
+	figures := experiments.AllFigures(pm)
+
+	if *list {
+		for _, t := range figures {
+			fmt.Println(t.Title)
+		}
+		return
+	}
+	if *fig == "" {
+		for _, t := range figures {
+			fmt.Println(t.String())
+		}
+		return
+	}
+	needle := strings.ToLower(*fig)
+	for _, t := range figures {
+		title := strings.ToLower(t.Title)
+		if strings.Contains(title, "figure "+needle+":") || strings.Contains(title, needle) {
+			fmt.Println(t.String())
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchfig: no figure matches %q (try -list)\n", *fig)
+	os.Exit(1)
+}

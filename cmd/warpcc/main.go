@@ -1,0 +1,165 @@
+// Command warpcc is the W2 compiler driver. It compiles a module either
+// sequentially or in parallel (goroutine workers or remote net/rpc
+// workers), and can print listings, run the result on the array simulator,
+// or verify that parallel and sequential compilation produce identical
+// download modules.
+//
+// Usage:
+//
+//	warpcc [flags] file.w2
+//
+//	-mode seq|par|rpc     compilation mode (default seq)
+//	-j N                  worker count for -mode par (default 4)
+//	-workers host:port,.. worker addresses for -mode rpc
+//	-S                    print assembly listings
+//	-run                  execute the module on the array simulator
+//	-in v1,v2,...         input stream values for -run
+//	-verify               compile both ways and compare the modules
+//	-no-pipeline          disable software pipelining
+//	-no-sched             disable instruction scheduling
+//	-stats                print per-function compile statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/warpsim"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "seq", "compilation mode: seq, par, or rpc")
+		jobs       = flag.Int("j", 4, "worker count for -mode par")
+		workers    = flag.String("workers", "", "comma-separated worker addresses for -mode rpc")
+		listing    = flag.Bool("S", false, "print assembly listings")
+		run        = flag.Bool("run", false, "run the compiled module on the array simulator")
+		inputCSV   = flag.String("in", "", "comma-separated input stream values for -run")
+		verify     = flag.Bool("verify", false, "verify parallel output against sequential")
+		noPipeline = flag.Bool("no-pipeline", false, "disable software pipelining")
+		noSched    = flag.Bool("no-sched", false, "disable instruction scheduling")
+		showStats  = flag.Bool("stats", false, "print per-function statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: warpcc [flags] file.w2")
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := compiler.Options{Codegen: codegen.Options{
+		DisablePipelining: *noPipeline,
+		DisableScheduling: *noSched,
+	}}
+
+	var res *compiler.Result
+	switch *mode {
+	case "seq":
+		res, err = compiler.CompileModule(file, src, opts)
+	case "par":
+		pool := cluster.NewLocalPool(*jobs)
+		var pstats *core.ParallelStats
+		res, pstats, err = core.ParallelCompile(file, src, pool, opts)
+		if err == nil && *showStats {
+			fmt.Printf("parallel: %d workers, elapsed %v, setup %v\n",
+				pstats.Workers, pstats.Elapsed.Round(1000), pstats.SetupTime.Round(1000))
+		}
+	case "rpc":
+		if *workers == "" {
+			fatal(fmt.Errorf("-mode rpc requires -workers"))
+		}
+		pool, derr := cluster.DialPool(strings.Split(*workers, ","))
+		if derr != nil {
+			fatal(derr)
+		}
+		defer pool.Close()
+		res, _, err = core.ParallelCompile(file, src, pool, opts)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("compiled module %s: %d section(s), %d function(s), %d instruction words\n",
+		res.ModuleName, len(res.Module.Cells), len(res.Funcs), res.Module.TotalWords())
+
+	if *verify {
+		seq, serr := compiler.CompileModule(file, src, opts)
+		if serr != nil {
+			fatal(serr)
+		}
+		if verr := core.VerifySameOutput(seq.Module, res.Module); verr != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", verr))
+		}
+		fmt.Println("verification OK: output identical to the sequential compiler")
+	}
+
+	if *showStats {
+		for _, fr := range res.Funcs {
+			fmt.Printf("  %-20s section %d  %4d lines", fr.Name, fr.Section, fr.Lines)
+			if fr.CPUTime > 0 {
+				fmt.Printf("  cpu %8v  loops %d/%d pipelined  %d spills",
+					fr.CPUTime.Round(1000), fr.GenStats.LoopsPipelined,
+					fr.GenStats.LoopsSeen, fr.GenStats.Spills)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *listing {
+		for _, fr := range res.Funcs {
+			if fr.Object != nil {
+				fmt.Println(fr.Object.Listing())
+			}
+		}
+	}
+
+	if res.Driver != nil && *showStats {
+		fmt.Println(res.Driver.Source())
+	}
+
+	if *run {
+		var input []float64
+		if *inputCSV != "" {
+			for _, f := range strings.Split(*inputCSV, ",") {
+				v, perr := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if perr != nil {
+					fatal(perr)
+				}
+				input = append(input, v)
+			}
+		}
+		arr := warpsim.NewArray(res.Module, warpsim.Config{})
+		out, st, rerr := arr.Run(res.Driver.EncodeInput(input))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		vals := res.Driver.DecodeOutput(out)
+		fmt.Printf("simulation: %d cycles, %d output value(s)\n", st.Cycles, len(vals))
+		for i, v := range vals {
+			fmt.Printf("  out[%d] = %g\n", i, v)
+		}
+		for i, cs := range st.Cells {
+			fmt.Printf("  cell %d: %.1f%% utilization (%d executed, %d stalled)\n",
+				i, 100*cs.Utilization(st.Cycles+1), cs.Executed, cs.Stalled)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "warpcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command warpsim compiles a W2 module and executes it on the cycle-level
+// Warp array simulator, reporting outputs and utilization. It is the
+// "download and run" step of the toolchain.
+//
+// Usage:
+//
+//	warpsim [-in v1,v2,...] [-max-cycles N] file.w2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/warpsim"
+)
+
+func main() {
+	inputCSV := flag.String("in", "", "comma-separated input stream values")
+	maxCycles := flag.Int64("max-cycles", 10_000_000, "simulation cycle budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: warpsim [flags] file.w2")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := compiler.CompileModule(flag.Arg(0), src, compiler.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	var input []float64
+	if *inputCSV != "" {
+		for _, f := range strings.Split(*inputCSV, ",") {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if perr != nil {
+				fatal(perr)
+			}
+			input = append(input, v)
+		}
+	}
+
+	arr := warpsim.NewArray(res.Module, warpsim.Config{MaxCycles: *maxCycles})
+	out, st, err := arr.Run(res.Driver.EncodeInput(input))
+	if err != nil {
+		fatal(err)
+	}
+	vals := res.Driver.DecodeOutput(out)
+	fmt.Printf("module %s: %d cell(s), %d cycles\n", res.ModuleName, len(res.Module.Cells), st.Cycles)
+	for i, v := range vals {
+		fmt.Printf("out[%d] = %g\n", i, v)
+	}
+	for i, cs := range st.Cells {
+		fmt.Printf("cell %d: executed %d, stalled %d, utilization %.1f%%\n",
+			i, cs.Executed, cs.Stalled, 100*cs.Utilization(st.Cycles+1))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "warpsim:", err)
+	os.Exit(1)
+}

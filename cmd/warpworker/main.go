@@ -1,0 +1,32 @@
+// Command warpworker is a compile worker ("workstation daemon"): it serves
+// function-compilation requests from warpcc -mode rpc over net/rpc, one at
+// a time, like the single-CPU SUN workstations of the measured system.
+//
+// Usage:
+//
+//	warpworker [-addr host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
+	flag.Parse()
+
+	ln, bound, err := cluster.ServeWorker(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "warpworker:", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	fmt.Printf("warpworker: serving compile requests on %s\n", bound)
+
+	// Serve until killed.
+	select {}
+}

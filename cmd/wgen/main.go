@@ -1,0 +1,56 @@
+// Command wgen emits the synthetic W2 workloads of the paper's evaluation:
+// the S_n programs (n functions of one size), multi-section pipelines, and
+// the nine-function user program of §4.3.
+//
+// Usage:
+//
+//	wgen -kind sn -size medium -n 4        # S_4 of f_medium
+//	wgen -kind sections -size small -n 3   # 3-section pipeline
+//	wgen -kind user                        # the §4.3 user program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/wgen"
+)
+
+func main() {
+	kind := flag.String("kind", "sn", "workload kind: sn, sections, or user")
+	sizeName := flag.String("size", "medium", "function size: tiny, small, medium, large, huge")
+	n := flag.Int("n", 1, "number of functions (sn) or sections (sections)")
+	flag.Parse()
+
+	var size wgen.Size
+	switch *sizeName {
+	case "tiny":
+		size = wgen.Tiny
+	case "small":
+		size = wgen.Small
+	case "medium":
+		size = wgen.Medium
+	case "large":
+		size = wgen.Large
+	case "huge":
+		size = wgen.Huge
+	default:
+		fmt.Fprintf(os.Stderr, "wgen: unknown size %q\n", *sizeName)
+		os.Exit(2)
+	}
+
+	var out []byte
+	switch *kind {
+	case "sn":
+		out = wgen.SyntheticProgram(size, *n)
+	case "sections":
+		out = wgen.MultiSectionProgram(size, *n)
+	case "user":
+		out = wgen.UserProgram()
+	default:
+		fmt.Fprintf(os.Stderr, "wgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	os.Stdout.Write(out)
+}

@@ -1,0 +1,77 @@
+// Monte Carlo example: the paper derived its benchmark functions from "one
+// of our largest application programs, a Monte Carlo style simulation".
+// This example generates such a program (four f_medium kernels), compiles
+// it both sequentially and with the parallel compiler, verifies the outputs
+// are identical, runs the module, and reports what the calibrated 1989 host
+// simulation predicts for both compilations.
+//
+//	go run ./examples/montecarlo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/parser"
+	"repro/internal/simhost"
+	"repro/internal/source"
+	"repro/internal/warpsim"
+	"repro/internal/wgen"
+)
+
+func main() {
+	src := wgen.SyntheticProgram(wgen.Medium, 4)
+	fmt.Printf("generated Monte-Carlo style program: %d bytes\n", len(src))
+
+	// Sequential compilation.
+	seq, err := compiler.CompileModule("mc.w2", src, compiler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential compile: %d functions, %d words, frontend %v, middle %v\n",
+		len(seq.Funcs), seq.Module.TotalWords(),
+		seq.FrontendTime.Round(1000), seq.MiddleTime.Round(1000))
+
+	// Parallel compilation on 4 in-process workers.
+	pool := cluster.NewLocalPool(4)
+	par, pstats, err := core.ParallelCompile("mc.w2", src, pool, compiler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel compile:   %d workers, elapsed %v, total function CPU %v\n",
+		pstats.Workers, pstats.Elapsed.Round(1000), pstats.TotalFuncCPU().Round(1000))
+
+	if err := core.VerifySameOutput(seq.Module, par.Module); err != nil {
+		log.Fatalf("parallel output differs: %v", err)
+	}
+	fmt.Println("verified: parallel and sequential compilers produce identical download modules")
+
+	// Run the compiled module.
+	arr := warpsim.NewArray(par.Module, warpsim.Config{MaxCycles: 50_000_000})
+	words, st, err := arr.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := par.Driver.DecodeOutput(words)
+	fmt.Printf("array simulation: %d cycles, result %v\n", st.Cycles, out)
+
+	// What would this compilation have cost in 1989?
+	var bag source.DiagBag
+	outline := parser.ParseOutline("mc.w2", src, &bag)
+	if outline == nil {
+		log.Fatal(bag.String())
+	}
+	pm := costmodel.Default1989()
+	st1989seq := simhost.SimulateSequential(outline, pm)
+	st1989par := simhost.SimulateParallel(outline, pm, experimentsWorkstations, simhost.FCFS)
+	fmt.Printf("on the 1989 cluster: sequential %.0f s, parallel %.0f s -> speedup %.2f\n",
+		st1989seq.Elapsed, st1989par.Elapsed, st1989seq.Elapsed/st1989par.Elapsed)
+}
+
+// experimentsWorkstations mirrors experiments.Workstations without
+// importing the experiments package into an example.
+const experimentsWorkstations = 15

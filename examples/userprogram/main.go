@@ -1,0 +1,85 @@
+// User-program example (§4.3): the mechanical-engineering application —
+// three section programs with three functions each. Shows the master's
+// structural parse, the load-balancing heuristic grouping functions onto
+// 2, 3, 5 and 9 processors, the simulated 1989 speedups, and a real
+// parallel compilation of the program.
+//
+//	go run ./examples/userprogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/parser"
+	"repro/internal/sched"
+	"repro/internal/simhost"
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/wgen"
+)
+
+func main() {
+	src := wgen.UserProgram()
+
+	// The master's structural parse: sections, functions, size metrics.
+	var bag source.DiagBag
+	outline := parser.ParseOutline("mechapp.w2", src, &bag)
+	if outline == nil {
+		log.Fatal(bag.String())
+	}
+	fmt.Printf("module %s: %d sections, %d functions\n", outline.Module, len(outline.Sections), outline.NumFunctions())
+	for _, fo := range outline.AllFunctions() {
+		fmt.Printf("  section %d  %-10s %4d lines  loop depth %d  est. cost %6.0f\n",
+			fo.Section, fo.Name, fo.Lines, fo.LoopDepth,
+			sched.EstimateCost(sched.Task{Lines: fo.Lines, LoopDepth: fo.LoopDepth}))
+	}
+
+	// The §4.3 heuristic: group functions over few processors.
+	tasks := core.Tasks(outline)
+	for _, p := range []int{2, 3, 5, 9} {
+		groups := sched.Group(tasks, p)
+		fmt.Printf("\n%d processors (predicted makespan %.0f):\n", p, sched.Makespan(groups))
+		for i, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			fmt.Printf("  station %d:", i)
+			for _, t := range g {
+				fmt.Printf(" %s(%d)", t.Name, t.Lines)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Simulated 1989 timings (the Figure 11 measurement).
+	pm := costmodel.Default1989()
+	seq := simhost.SimulateSequential(outline, pm)
+	fmt.Printf("\n1989 sequential compile: %.0f s (%.0f min), of which %.0f s paging\n",
+		seq.Elapsed, seq.Elapsed/60, seq.SwapSec)
+	for _, p := range []int{2, 3, 5, 9} {
+		par := simhost.SimulateParallel(outline, pm, p, simhost.Grouped)
+		fmt.Printf("1989 parallel on %d processors: %.0f s -> speedup %.2f\n",
+			p, par.Elapsed, stats.Speedup(seq.Elapsed, par.Elapsed))
+	}
+
+	// And compile it for real, in parallel, verifying the result.
+	pool := cluster.NewLocalPool(4)
+	par, pstats, err := core.ParallelCompile("mechapp.w2", src, pool, compiler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqReal, err := compiler.CompileModule("mechapp.w2", src, compiler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.VerifySameOutput(seqReal.Module, par.Module); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal parallel compile: %d words across %d cells in %v (output verified)\n",
+		par.Module.TotalWords(), len(par.Module.Cells), pstats.Elapsed.Round(1000))
+}

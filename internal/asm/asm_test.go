@@ -1,0 +1,165 @@
+package asm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func samplePFunc() *codegen.PFunc {
+	return &codegen.PFunc{
+		Name:    "f",
+		Section: 2,
+		IsEntry: true,
+		Arrays:  []ir.ArrayVar{{Sym: "a$0", Words: 16}, {Sym: "spill$3", Words: 1}},
+		Blocks: []*codegen.PBlock{
+			{
+				Label: "f.b0",
+				Scheduled: []machine.Word{
+					wordWith(machine.ALU, machine.Instr{Op: machine.LDI, Dst: 2, Imm: 5}),
+					wordWith(machine.MEM, machine.Instr{Op: machine.STORE, A: 0, B: 2, Sym: "a$0"}),
+					wordWith(machine.CTRL, machine.Instr{Op: machine.JMP, Sym: "f.b1"}),
+				},
+			},
+			{
+				Label: "f.b1",
+				Scheduled: []machine.Word{
+					wordWith(machine.MEM, machine.Instr{Op: machine.LOAD, Dst: 3, A: 0, Sym: "a$0"}),
+					wordWith(machine.CTRL, machine.Instr{Op: machine.HALT}),
+				},
+			},
+		},
+	}
+}
+
+func wordWith(u machine.Unit, in machine.Instr) machine.Word {
+	var w machine.Word
+	w[u] = in
+	return w
+}
+
+func TestAssemble(t *testing.T) {
+	obj, err := Assemble(samplePFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.NumWords() != 5 {
+		t.Errorf("code words = %d, want 5", obj.NumWords())
+	}
+	if obj.Labels["f.b0"] != 0 || obj.Labels["f.b1"] != 3 {
+		t.Errorf("labels wrong: %v", obj.Labels)
+	}
+	if len(obj.Relocs) != 3 {
+		t.Fatalf("relocs = %d, want 3 (%v)", len(obj.Relocs), obj.Relocs)
+	}
+	kinds := map[RelocKind]int{}
+	for _, r := range obj.Relocs {
+		kinds[r.Kind]++
+		if r.Kind == RelocData && !strings.HasPrefix(r.Sym, "f/") {
+			t.Errorf("data symbol %q not function-qualified", r.Sym)
+		}
+	}
+	if kinds[RelocBranch] != 1 || kinds[RelocData] != 2 {
+		t.Errorf("reloc kinds wrong: %v", kinds)
+	}
+	if obj.DataWords() != 17 {
+		t.Errorf("data words = %d, want 17", obj.DataWords())
+	}
+	// Stored words must carry no symbols (relocations are authoritative).
+	for i, w := range obj.Code {
+		for u := range w {
+			if w[u].Sym != "" {
+				t.Errorf("word %d slot %d still has symbol %q", i, u, w[u].Sym)
+			}
+		}
+	}
+}
+
+func TestAssembleRejectsUnscheduled(t *testing.T) {
+	pf := samplePFunc()
+	pf.Blocks[0].Scheduled = nil
+	if _, err := Assemble(pf); err == nil {
+		t.Error("expected error for unscheduled block")
+	}
+}
+
+func TestAssembleRejectsDuplicateLabels(t *testing.T) {
+	pf := samplePFunc()
+	pf.Blocks[1].Label = pf.Blocks[0].Label
+	if _, err := Assemble(pf); err == nil {
+		t.Error("expected error for duplicate label")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	obj, err := Assemble(samplePFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(obj)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(obj, back) {
+		t.Errorf("round trip mismatch:\nfirst:  %+v\nsecond: %+v", obj, back)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("W2OB"),
+		append([]byte("W2OB"), 0xFF, 0xFF), // bad version
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	obj, _ := Assemble(samplePFunc())
+	data := Encode(obj)
+	for _, cut := range []int{5, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// Must not panic, error or not.
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations of a valid object must not panic either.
+	obj, _ := Assemble(samplePFunc())
+	data := Encode(obj)
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x55
+		_, _ = Decode(mut)
+	}
+}
+
+func TestListing(t *testing.T) {
+	obj, _ := Assemble(samplePFunc())
+	l := obj.Listing()
+	for _, want := range []string{"f.b0:", "f.b1:", "ldi", "halt", "data f/a$0"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package asm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Binary object-file format ("W2OB"):
+//
+//	magic "W2OB", version u16
+//	name string, section u16, isEntry u8
+//	code: u32 count, then per word 6 slots of (op u8, dst u8, a u8, b u8, imm i32)
+//	labels: u32 count of (string, u32 offset)
+//	relocs: u32 count of (u32 word, u8 unit, u8 kind, string sym)
+//	data:   u32 count of (string name, u32 words)
+//
+// Strings are u16 length + bytes. All integers are little-endian.
+
+var magic = [4]byte{'W', '2', 'O', 'B'}
+
+const version uint16 = 1
+
+// Encode serializes the object to its binary form.
+func Encode(o *Object) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	writeU16(&buf, version)
+	writeString(&buf, o.Name)
+	writeU16(&buf, uint16(o.Section))
+	if o.IsEntry {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+
+	writeU32(&buf, uint32(len(o.Code)))
+	for _, w := range o.Code {
+		for u := 0; u < int(machine.NumUnits); u++ {
+			in := w[u]
+			buf.WriteByte(byte(in.Op))
+			buf.WriteByte(byte(in.Dst))
+			buf.WriteByte(byte(in.A))
+			buf.WriteByte(byte(in.B))
+			writeI32(&buf, in.Imm)
+		}
+	}
+
+	// Labels in deterministic order.
+	writeU32(&buf, uint32(len(o.Labels)))
+	for _, name := range sortedLabelNames(o) {
+		writeString(&buf, name)
+		writeU32(&buf, uint32(o.Labels[name]))
+	}
+
+	writeU32(&buf, uint32(len(o.Relocs)))
+	for _, r := range o.Relocs {
+		writeU32(&buf, uint32(r.Word))
+		buf.WriteByte(byte(r.Unit))
+		buf.WriteByte(byte(r.Kind))
+		writeString(&buf, r.Sym)
+	}
+
+	writeU32(&buf, uint32(len(o.Data)))
+	for _, d := range o.Data {
+		writeString(&buf, d.Name)
+		writeU32(&buf, uint32(d.Words))
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a binary object file.
+func Decode(data []byte) (*Object, error) {
+	r := &reader{data: data}
+	var m [4]byte
+	r.bytes(m[:])
+	if m != magic {
+		return nil, fmt.Errorf("bad object magic %q", m)
+	}
+	if v := r.u16(); v != version {
+		return nil, fmt.Errorf("unsupported object version %d", v)
+	}
+	o := &Object{Labels: make(map[string]int)}
+	o.Name = r.str()
+	o.Section = int(r.u16())
+	o.IsEntry = r.u8() != 0
+
+	nCode := int(r.u32())
+	if nCode > machine.ProgMemWords {
+		return nil, fmt.Errorf("object code %d words exceeds program memory", nCode)
+	}
+	o.Code = make([]machine.Word, nCode)
+	for i := 0; i < nCode; i++ {
+		for u := 0; u < int(machine.NumUnits); u++ {
+			var in machine.Instr
+			in.Op = machine.Opcode(r.u8())
+			in.Dst = machine.Reg(r.u8())
+			in.A = machine.Reg(r.u8())
+			in.B = machine.Reg(r.u8())
+			in.Imm = r.i32()
+			if int(in.Op) >= machine.NumOpcodes() {
+				return nil, fmt.Errorf("word %d: invalid opcode %d", i, in.Op)
+			}
+			o.Code[i][u] = in
+		}
+	}
+
+	nLabels := int(r.u32())
+	for i := 0; i < nLabels; i++ {
+		if r.err != nil {
+			return nil, r.err
+		}
+		name := r.str()
+		off := int(r.u32())
+		if off > nCode {
+			return nil, fmt.Errorf("label %s offset %d out of range", name, off)
+		}
+		o.Labels[name] = off
+	}
+
+	nRelocs := int(r.u32())
+	for i := 0; i < nRelocs; i++ {
+		if r.err != nil {
+			return nil, r.err
+		}
+		var rl Reloc
+		rl.Word = int(r.u32())
+		rl.Unit = machine.Unit(r.u8())
+		rl.Kind = RelocKind(r.u8())
+		rl.Sym = r.str()
+		if rl.Word >= nCode || rl.Unit >= machine.NumUnits {
+			return nil, fmt.Errorf("relocation %d out of range", i)
+		}
+		o.Relocs = append(o.Relocs, rl)
+	}
+
+	nData := int(r.u32())
+	for i := 0; i < nData; i++ {
+		if r.err != nil {
+			return nil, r.err
+		}
+		var d DataSym
+		d.Name = r.str()
+		d.Words = int(r.u32())
+		o.Data = append(o.Data, d)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return o, nil
+}
+
+func sortedLabelNames(o *Object) []string {
+	names := make([]string, 0, len(o.Labels))
+	for n := range o.Labels {
+		names = append(names, n)
+	}
+	// insertion sort keeps this file free of extra imports
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func writeU16(b *bytes.Buffer, v uint16) { binary.Write(b, binary.LittleEndian, v) }
+func writeU32(b *bytes.Buffer, v uint32) { binary.Write(b, binary.LittleEndian, v) }
+func writeI32(b *bytes.Buffer, v int32)  { binary.Write(b, binary.LittleEndian, v) }
+
+func writeString(b *bytes.Buffer, s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	writeU16(b, uint16(len(s)))
+	b.WriteString(s)
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) bytes(out []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.pos+len(out) > len(r.data) {
+		r.err = fmt.Errorf("truncated object file at offset %d", r.pos)
+		return
+	}
+	copy(out, r.data[r.pos:])
+	r.pos += len(out)
+}
+
+func (r *reader) u8() uint8 {
+	var b [1]byte
+	r.bytes(b[:])
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	var b [2]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if r.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	return string(b)
+}

@@ -1,0 +1,340 @@
+// Package ast declares the syntax tree of the W2 language.
+//
+// A W2 module mirrors the structure of the Warp machine: it consists of one
+// or more section programs (each mapped to a group of processing elements),
+// and each section program contains one or more functions. The last function
+// of a section is its entry point (the "cell program"); the compiler's
+// parallel decomposition follows exactly this module/section/function
+// hierarchy.
+package ast
+
+import (
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// Node is implemented by every syntax-tree node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Module is the root of a W2 program.
+type Module struct {
+	ModulePos source.Pos
+	Name      string
+	Streams   []*StreamParam // the module's in/out data streams
+	Sections  []*Section
+}
+
+func (m *Module) Pos() source.Pos { return m.ModulePos }
+
+// NumFunctions returns the total number of functions across all sections —
+// the degree of parallelism available to the parallel compiler.
+func (m *Module) NumFunctions() int {
+	n := 0
+	for _, s := range m.Sections {
+		n += len(s.Funcs)
+	}
+	return n
+}
+
+// StreamDir is the direction of a module stream parameter.
+type StreamDir int
+
+const (
+	// StreamIn data flows from the host into the array.
+	StreamIn StreamDir = iota
+	// StreamOut data flows from the array back to the host.
+	StreamOut
+)
+
+func (d StreamDir) String() string {
+	if d == StreamIn {
+		return "in"
+	}
+	return "out"
+}
+
+// StreamParam is one module-level stream declaration, e.g. "in x: float[512]".
+type StreamParam struct {
+	NamePos source.Pos
+	Dir     StreamDir
+	Name    string
+	Type    *TypeExpr
+}
+
+func (p *StreamParam) Pos() source.Pos { return p.NamePos }
+
+// Section is one section program: a group of functions compiled for one
+// group of processing elements.
+type Section struct {
+	SectionPos source.Pos
+	Index      int // 1-based section number as written
+	Of         int // declared total number of sections (0 if omitted)
+	Funcs      []*FuncDecl
+}
+
+func (s *Section) Pos() source.Pos { return s.SectionPos }
+
+// Entry returns the section's entry function (by convention the last
+// declared function of the section).
+func (s *Section) Entry() *FuncDecl {
+	if len(s.Funcs) == 0 {
+		return nil
+	}
+	return s.Funcs[len(s.Funcs)-1]
+}
+
+// FuncDecl is one function of a section program — the unit of parallel
+// compilation.
+type FuncDecl struct {
+	FuncPos source.Pos
+	Name    string
+	Params  []*Param
+	Result  *TypeExpr // nil for void
+	Body    *Block
+
+	// Sig is the semantic signature, filled by the checker.
+	Sig *types.Func
+	// SectionIndex and FuncIndex locate the function in the module:
+	// section number (1-based) and position within the section (0-based).
+	// They are filled by the parser.
+	SectionIndex int
+	FuncIndex    int
+}
+
+func (f *FuncDecl) Pos() source.Pos { return f.FuncPos }
+
+// Param is a formal parameter of a function.
+type Param struct {
+	NamePos source.Pos
+	Name    string
+	Type    *TypeExpr
+}
+
+func (p *Param) Pos() source.Pos { return p.NamePos }
+
+// TypeExpr is a syntactic type: a scalar name plus optional array dimensions
+// (written outermost first, e.g. float[10][20]).
+type TypeExpr struct {
+	NamePos source.Pos
+	Name    string // "int", "float", "bool"
+	Dims    []int  // outermost-first array dimensions; empty for scalars
+
+	// T is the denoted semantic type, filled by the checker.
+	T types.Type
+}
+
+func (t *TypeExpr) Pos() source.Pos { return t.NamePos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a brace-enclosed statement sequence with its own scope.
+type Block struct {
+	LbracePos source.Pos
+	Stmts     []Stmt
+}
+
+// VarDecl declares a local variable, optionally initialized.
+type VarDecl struct {
+	VarPos source.Pos
+	Name   string
+	Type   *TypeExpr
+	Init   Expr // nil if absent
+}
+
+// Assign assigns RHS to an lvalue (identifier or array element).
+type Assign struct {
+	LHS Expr // *Ident or *IndexExpr
+	RHS Expr
+}
+
+// If is a conditional with an optional else arm.
+type If struct {
+	IfPos source.Pos
+	Cond  Expr
+	Then  *Block
+	Else  Stmt // *Block, *If, or nil
+}
+
+// While loops while the condition holds.
+type While struct {
+	WhilePos source.Pos
+	Cond     Expr
+	Body     *Block
+}
+
+// For is the counted loop "for i = lo to hi [step s] { ... }"; the bounds are
+// evaluated once and i takes values lo, lo+s, ... while i <= hi (or >= hi for
+// negative constant steps).
+type For struct {
+	ForPos source.Pos
+	Var    *Ident
+	Lo, Hi Expr
+	Step   Expr // nil means 1
+	Body   *Block
+}
+
+// Return exits the enclosing function, with a value when the function has a
+// result type.
+type Return struct {
+	ReturnPos source.Pos
+	Value     Expr // nil for void returns
+}
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+// Receive reads the next value from a systolic input channel into an lvalue:
+// receive(X, v).
+type Receive struct {
+	RecvPos source.Pos
+	Chan    string // "X" or "Y"
+	LHS     Expr   // *Ident or *IndexExpr
+}
+
+// Send writes a value to a systolic output channel: send(Y, expr).
+type Send struct {
+	SendPos source.Pos
+	Chan    string // "X" or "Y"
+	Value   Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ BreakPos source.Pos }
+
+// Continue advances the innermost loop.
+type Continue struct{ ContinuePos source.Pos }
+
+func (b *Block) Pos() source.Pos    { return b.LbracePos }
+func (v *VarDecl) Pos() source.Pos  { return v.VarPos }
+func (a *Assign) Pos() source.Pos   { return a.LHS.Pos() }
+func (i *If) Pos() source.Pos       { return i.IfPos }
+func (w *While) Pos() source.Pos    { return w.WhilePos }
+func (f *For) Pos() source.Pos      { return f.ForPos }
+func (r *Return) Pos() source.Pos   { return r.ReturnPos }
+func (e *ExprStmt) Pos() source.Pos { return e.X.Pos() }
+func (r *Receive) Pos() source.Pos  { return r.RecvPos }
+func (s *Send) Pos() source.Pos     { return s.SendPos }
+func (b *Break) Pos() source.Pos    { return b.BreakPos }
+func (c *Continue) Pos() source.Pos { return c.ContinuePos }
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+func (*Receive) stmtNode()  {}
+func (*Send) stmtNode()     {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes. Type returns the semantic
+// type assigned by the checker (nil before checking).
+type Expr interface {
+	Node
+	exprNode()
+	Type() types.Type
+}
+
+// typ is the type annotation embedded in every expression node.
+type typ struct{ T types.Type }
+
+func (t *typ) Type() types.Type      { return t.T }
+func (t *typ) SetType(ty types.Type) { t.T = ty }
+
+// Ident is a use of a named entity.
+type Ident struct {
+	typ
+	NamePos source.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typ
+	LitPos source.Pos
+	Value  int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typ
+	LitPos source.Pos
+	Value  float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	typ
+	LitPos source.Pos
+	Value  bool
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	typ
+	Op   source.Token
+	X, Y Expr
+}
+
+// UnaryExpr applies unary - or !.
+type UnaryExpr struct {
+	typ
+	OpPos source.Pos
+	Op    source.Token
+	X     Expr
+}
+
+// CallExpr calls a named function or builtin.
+type CallExpr struct {
+	typ
+	Fun  *Ident
+	Args []Expr
+	// Builtin names the builtin when Fun resolves to one ("sqrt", "abs",
+	// "min", "max", "float", "int"); empty for user functions.
+	Builtin string
+}
+
+// IndexExpr selects an array element: a[i] or a[i][j].
+type IndexExpr struct {
+	typ
+	X     Expr // array value (*Ident or nested *IndexExpr)
+	Index Expr
+}
+
+func (e *Ident) Pos() source.Pos      { return e.NamePos }
+func (e *IntLit) Pos() source.Pos     { return e.LitPos }
+func (e *FloatLit) Pos() source.Pos   { return e.LitPos }
+func (e *BoolLit) Pos() source.Pos    { return e.LitPos }
+func (e *BinaryExpr) Pos() source.Pos { return e.X.Pos() }
+func (e *UnaryExpr) Pos() source.Pos  { return e.OpPos }
+func (e *CallExpr) Pos() source.Pos   { return e.Fun.Pos() }
+func (e *IndexExpr) Pos() source.Pos  { return e.X.Pos() }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}

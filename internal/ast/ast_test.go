@@ -1,0 +1,141 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// buildModule constructs a small tree by hand (the parser has its own
+// print/parse round-trip tests; these cover the ast package's helpers
+// directly).
+func buildModule() *Module {
+	body := &Block{Stmts: []Stmt{
+		&VarDecl{Name: "v", Type: &TypeExpr{Name: "float"},
+			Init: &FloatLit{Value: 1.5}},
+		&For{
+			Var: &Ident{Name: "i"},
+			Lo:  &IntLit{Value: 0},
+			Hi:  &IntLit{Value: 9},
+			Body: &Block{Stmts: []Stmt{
+				&Send{Chan: "Y", Value: &BinaryExpr{Op: source.MUL,
+					X: &Ident{Name: "v"}, Y: &FloatLit{Value: 2}}},
+			}},
+		},
+	}}
+	fn := &FuncDecl{Name: "cell", Body: body, SectionIndex: 1}
+	return &Module{
+		Name:     "m",
+		Streams:  []*StreamParam{{Dir: StreamOut, Name: "ys", Type: &TypeExpr{Name: "float", Dims: []int{10}}}},
+		Sections: []*Section{{Index: 1, Of: 1, Funcs: []*FuncDecl{fn}}},
+	}
+}
+
+func TestFormatContainsStructure(t *testing.T) {
+	text := Format(buildModule())
+	for _, want := range []string{
+		"module m (out ys: float[10])",
+		"section 1 of 1 {",
+		"function cell() {",
+		"var v: float = 1.5;",
+		"for i = 0 to 9 {",
+		"send(Y, v * 2.0);",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted module missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNumFunctionsAndEntry(t *testing.T) {
+	m := buildModule()
+	if m.NumFunctions() != 1 {
+		t.Errorf("NumFunctions = %d", m.NumFunctions())
+	}
+	if m.Sections[0].Entry().Name != "cell" {
+		t.Errorf("Entry = %q", m.Sections[0].Entry().Name)
+	}
+	empty := &Section{Index: 2}
+	if empty.Entry() != nil {
+		t.Error("empty section must have nil entry")
+	}
+}
+
+func TestInspectVisitsAllAndPrunes(t *testing.T) {
+	m := buildModule()
+	var total int
+	Inspect(m, func(Node) bool { total++; return true })
+	if total < 12 {
+		t.Errorf("Inspect visited only %d nodes", total)
+	}
+	// Pruning at FuncDecl must skip its body.
+	var pruned int
+	Inspect(m, func(n Node) bool {
+		pruned++
+		_, isFn := n.(*FuncDecl)
+		return !isFn
+	})
+	if pruned >= total {
+		t.Errorf("pruned walk (%d) should visit fewer nodes than full walk (%d)", pruned, total)
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	// (a + b) * c must print parenthesized; a + b * c must not.
+	mul := &BinaryExpr{Op: source.MUL,
+		X: &BinaryExpr{Op: source.ADD, X: &Ident{Name: "a"}, Y: &Ident{Name: "b"}},
+		Y: &Ident{Name: "c"}}
+	if got := ExprString(mul); got != "(a + b) * c" {
+		t.Errorf("got %q", got)
+	}
+	add := &BinaryExpr{Op: source.ADD,
+		X: &Ident{Name: "a"},
+		Y: &BinaryExpr{Op: source.MUL, X: &Ident{Name: "b"}, Y: &Ident{Name: "c"}}}
+	if got := ExprString(add); got != "a + b * c" {
+		t.Errorf("got %q", got)
+	}
+	neg := &UnaryExpr{Op: source.SUB, X: &Ident{Name: "x"}}
+	idx := &IndexExpr{X: &Ident{Name: "arr"}, Index: neg}
+	if got := ExprString(idx); got != "arr[-x]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFloatLitAlwaysRescansAsFloat(t *testing.T) {
+	for _, v := range []float64{1, 2.5, 1e9, 0} {
+		s := ExprString(&FloatLit{Value: v})
+		if !strings.ContainsAny(s, ".eE") {
+			t.Errorf("float literal %g printed as %q, which re-scans as INT", v, s)
+		}
+	}
+}
+
+func TestFuncLinesAndLoopDepth(t *testing.T) {
+	m := buildModule()
+	fn := m.Sections[0].Funcs[0]
+	if lines := FuncLines(fn); lines < 5 || lines > 10 {
+		t.Errorf("FuncLines = %d, want a small positive count", lines)
+	}
+	if d := MaxLoopDepth(fn); d != 1 {
+		t.Errorf("MaxLoopDepth = %d, want 1", d)
+	}
+}
+
+func TestTypeAnnotationAccessors(t *testing.T) {
+	e := &IntLit{Value: 3}
+	if e.Type() != nil {
+		t.Error("fresh literal must have nil type")
+	}
+	e.SetType(types.IntType)
+	if !e.Type().Equal(types.IntType) {
+		t.Error("SetType/Type round trip failed")
+	}
+}
+
+func TestStreamDirString(t *testing.T) {
+	if StreamIn.String() != "in" || StreamOut.String() != "out" {
+		t.Error("StreamDir strings wrong")
+	}
+}

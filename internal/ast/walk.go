@@ -1,0 +1,129 @@
+package ast
+
+// Inspect traverses the subtree rooted at n in depth-first order, calling f
+// for every node. If f returns false for a node, its children are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Module:
+		for _, s := range n.Streams {
+			Inspect(s, f)
+		}
+		for _, s := range n.Sections {
+			Inspect(s, f)
+		}
+	case *StreamParam:
+		Inspect(n.Type, f)
+	case *Section:
+		for _, fn := range n.Funcs {
+			Inspect(fn, f)
+		}
+	case *FuncDecl:
+		for _, p := range n.Params {
+			Inspect(p, f)
+		}
+		if n.Result != nil {
+			Inspect(n.Result, f)
+		}
+		Inspect(n.Body, f)
+	case *Param:
+		Inspect(n.Type, f)
+	case *TypeExpr:
+		// leaf
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *VarDecl:
+		Inspect(n.Type, f)
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+	case *Assign:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *If:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *While:
+		Inspect(n.Cond, f)
+		Inspect(n.Body, f)
+	case *For:
+		Inspect(n.Var, f)
+		Inspect(n.Lo, f)
+		Inspect(n.Hi, f)
+		if n.Step != nil {
+			Inspect(n.Step, f)
+		}
+		Inspect(n.Body, f)
+	case *Return:
+		if n.Value != nil {
+			Inspect(n.Value, f)
+		}
+	case *ExprStmt:
+		Inspect(n.X, f)
+	case *Receive:
+		Inspect(n.LHS, f)
+	case *Send:
+		Inspect(n.Value, f)
+	case *Break, *Continue:
+		// leaves
+	case *Ident, *IntLit, *FloatLit, *BoolLit:
+		// leaves
+	case *BinaryExpr:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *UnaryExpr:
+		Inspect(n.X, f)
+	case *CallExpr:
+		Inspect(n.Fun, f)
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	case *IndexExpr:
+		Inspect(n.X, f)
+		Inspect(n.Index, f)
+	}
+}
+
+// MaxLoopDepth returns the deepest loop nesting in the function body. The
+// paper's improved scheduler (§4.3) estimates compile time from "a
+// combination of lines of code and loop nesting".
+func MaxLoopDepth(f *FuncDecl) int {
+	return blockLoopDepth(f.Body)
+}
+
+func blockLoopDepth(b *Block) int {
+	max := 0
+	for _, s := range b.Stmts {
+		if d := stmtLoopDepth(s); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func stmtLoopDepth(s Stmt) int {
+	switch s := s.(type) {
+	case *Block:
+		return blockLoopDepth(s)
+	case *If:
+		d := blockLoopDepth(s.Then)
+		if s.Else != nil {
+			if e := stmtLoopDepth(s.Else); e > d {
+				d = e
+			}
+		}
+		return d
+	case *While:
+		return 1 + blockLoopDepth(s.Body)
+	case *For:
+		return 1 + blockLoopDepth(s.Body)
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+// Package cluster provides the parallel compiler's workstation backends.
+//
+// The paper's host system is an Ethernet network of diskless SUN
+// workstations sharing a file server. This package offers two modern
+// stand-ins with the same first-come-first-served semantics:
+//
+//   - LocalPool: N worker goroutines in this process (shared-memory "nodes").
+//   - RPCPool:   worker processes reached over net/rpc — genuinely separate
+//     address spaces connected by a byte stream, the closest stdlib
+//     equivalent of the paper's message-passing UNIX processes.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// LocalPool runs function masters on a fixed number of in-process workers.
+type LocalPool struct {
+	sem chan struct{}
+	n   int
+}
+
+// NewLocalPool returns a pool of n workers (n < 1 is treated as 1).
+func NewLocalPool(n int) *LocalPool {
+	if n < 1 {
+		n = 1
+	}
+	return &LocalPool{sem: make(chan struct{}, n), n: n}
+}
+
+// Workers returns the pool size.
+func (p *LocalPool) Workers() int { return p.n }
+
+// Compile runs the request on the next free worker, blocking until one is
+// available — exactly the FCFS placement of the paper.
+func (p *LocalPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	return core.RunFunctionMaster(req)
+}
+
+// ---------------------------------------------------------------------------
+// RPC worker (the "workstation" daemon)
+
+// Worker is the RPC service run by each workstation process. Each worker
+// compiles one function at a time, like a single-CPU SUN.
+type Worker struct {
+	mu sync.Mutex
+}
+
+// Compile is the RPC method invoked by section masters.
+func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r, err := core.RunFunctionMaster(req)
+	if err != nil {
+		return err
+	}
+	*reply = *r
+	return nil
+}
+
+// Ping lets pools check worker liveness.
+func (w *Worker) Ping(_ struct{}, ok *bool) error {
+	*ok = true
+	return nil
+}
+
+// ServeWorker listens on addr (e.g. "127.0.0.1:0") and serves compile
+// requests until the listener is closed. It returns the bound address.
+func ServeWorker(addr string) (net.Listener, string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &Worker{}); err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln, ln.Addr().String(), nil
+}
+
+// RPCPool dispatches compile requests to remote workers over net/rpc with
+// FCFS placement: a request takes the first worker that frees up.
+type RPCPool struct {
+	clients []*rpc.Client
+	free    chan *rpc.Client
+}
+
+// DialPool connects to the given worker addresses.
+func DialPool(addrs []string) (*RPCPool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	p := &RPCPool{free: make(chan *rpc.Client, len(addrs))}
+	for _, a := range addrs {
+		c, err := rpc.Dial("tcp", a)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("cluster: dialing %s: %w", a, err)
+		}
+		var ok bool
+		if err := c.Call("Worker.Ping", struct{}{}, &ok); err != nil || !ok {
+			p.Close()
+			return nil, fmt.Errorf("cluster: worker %s not responding: %v", a, err)
+		}
+		p.clients = append(p.clients, c)
+		p.free <- c
+	}
+	return p, nil
+}
+
+// Workers returns the number of connected workers.
+func (p *RPCPool) Workers() int { return len(p.clients) }
+
+// Compile sends the request to the next free worker.
+func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
+	c := <-p.free
+	defer func() { p.free <- c }()
+	var reply core.CompileReply
+	if err := c.Call("Worker.Compile", req, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Close tears down all connections.
+func (p *RPCPool) Close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+	p.clients = nil
+}
+
+var _ core.Backend = (*LocalPool)(nil)
+var _ core.Backend = (*RPCPool)(nil)

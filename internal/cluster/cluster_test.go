@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/wgen"
+)
+
+func TestLocalPoolCompile(t *testing.T) {
+	src := wgen.SyntheticProgram(wgen.Small, 2)
+	pool := NewLocalPool(2)
+	if pool.Workers() != 2 {
+		t.Fatalf("workers = %d", pool.Workers())
+	}
+	res, _, err := core.ParallelCompile("m.w2", src, pool, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := compiler.CompileModule("m.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifySameOutput(seq.Module, res.Module); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalPoolClampsSize(t *testing.T) {
+	if NewLocalPool(0).Workers() != 1 || NewLocalPool(-3).Workers() != 1 {
+		t.Error("pool size must clamp to 1")
+	}
+}
+
+// TestRPCWorkers spins up real net/rpc workers on localhost — separate
+// address spaces in spirit (separate rpc servers over TCP) — and runs the
+// parallel compiler against them.
+func TestRPCWorkers(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		ln, addr, err := ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs = append(addrs, addr)
+	}
+	pool, err := DialPool(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", pool.Workers())
+	}
+
+	src := wgen.UserProgram()
+	res, stats, err := core.ParallelCompile("user.w2", src, pool, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := compiler.CompileModule("user.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifySameOutput(seq.Module, res.Module); err != nil {
+		t.Errorf("RPC-compiled module differs: %v", err)
+	}
+	if len(stats.FuncCPU) != 9 {
+		t.Errorf("expected 9 function CPU entries, got %d", len(stats.FuncCPU))
+	}
+}
+
+func TestRPCCompileErrorPropagates(t *testing.T) {
+	ln, addr, err := ServeWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	pool, err := DialPool([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// A request with a bad section index must yield a remote error.
+	_, err = pool.Compile(core.CompileRequest{
+		File: "m.w2", Source: wgen.SyntheticProgram(wgen.Tiny, 1), Section: 9, Index: 0,
+	})
+	if err == nil || !strings.Contains(err.Error(), "no section 9") {
+		t.Errorf("remote error not propagated: %v", err)
+	}
+}
+
+func TestDialPoolFailures(t *testing.T) {
+	if _, err := DialPool(nil); err == nil {
+		t.Error("empty address list must fail")
+	}
+	if _, err := DialPool([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("dialing a dead port must fail")
+	}
+}

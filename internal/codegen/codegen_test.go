@@ -1,0 +1,456 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// prep lowers, optimizes and inverts one function, ready for codegen.
+func prep(t *testing.T, src, name string) *ir.Func {
+	t.Helper()
+	var bag source.DiagBag
+	m := parser.Parse("t.w2", []byte(src), &bag)
+	info := sem.Check(m, &bag)
+	if bag.HasErrors() {
+		t.Fatalf("front end:\n%s", bag.String())
+	}
+	funcs := make(map[string]*ir.Func)
+	var target *ir.Func
+	var decl *ast.FuncDecl
+	for _, s := range m.Sections {
+		for _, fn := range s.Funcs {
+			f, err := ir.Lower(fn, info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ir.InlineCalls(f, funcs); err != nil {
+				t.Fatal(err)
+			}
+			funcs[fn.Name] = f
+			if fn.Name == name {
+				target = f
+				decl = fn
+			}
+		}
+	}
+	_ = decl
+	if target == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	opt.Optimize(target)
+	ir.InvertLoops(target)
+	opt.MergeStraightLine(target)
+	opt.EliminateDeadCode(target)
+	return target
+}
+
+func sec(body string) string { return "module m\nsection 1 {\n" + body + "\n}\n" }
+
+func TestSelectBasicOps(t *testing.T) {
+	f := prep(t, sec(`
+function cell() {
+    var i: int;
+    var x: float;
+    receive(X, i);
+    receive(X, x);
+    var a: float[4];
+    a[i % 4] = x * 2.0 + float(i);
+    send(Y, a[0] + sqrt(x));
+}
+`), "cell")
+	mf, err := Select(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[machine.Opcode]int{}
+	for _, b := range mf.Blocks {
+		for _, op := range b.Ops {
+			counts[op.Op]++
+		}
+	}
+	for _, want := range []machine.Opcode{machine.LDI, machine.STORE, machine.LOAD,
+		machine.FSQRT, machine.SENDY, machine.HALT} {
+		if counts[want] == 0 {
+			t.Errorf("expected at least one %s op\n%s", machine.Info(want).Name, mf)
+		}
+	}
+}
+
+func TestSelectRejectsCalls(t *testing.T) {
+	var bag source.DiagBag
+	m := parser.Parse("t.w2", []byte(sec(`
+function g(): int { return 1; }
+function cell() { var x: int; x = g(); send(Y, x); }
+`)), &bag)
+	info := sem.Check(m, &bag)
+	if bag.HasErrors() {
+		t.Fatal(bag.String())
+	}
+	f, err := ir.Lower(m.Sections[0].Funcs[1], info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Select(f, true); err == nil {
+		t.Error("Select must reject functions with calls")
+	}
+}
+
+func TestEntryEndsWithHalt(t *testing.T) {
+	f := prep(t, sec(`function cell() { send(Y, 1.0); }`), "cell")
+	mf, err := Select(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range mf.Blocks {
+		for _, op := range b.Ops {
+			if op.Op == machine.HALT {
+				found = true
+			}
+			if op.Op == machine.RET {
+				t.Error("entry function must not contain RET")
+			}
+		}
+	}
+	if !found {
+		t.Error("entry function must end with HALT")
+	}
+}
+
+func TestNonEntryEndsWithRet(t *testing.T) {
+	f := prep(t, sec(`
+function helper(a: float): float { return a * 2.0; }
+function cell() { send(Y, helper(1.0)); }
+`), "helper")
+	mf, err := Select(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveRet := false
+	for _, b := range mf.Blocks {
+		for _, op := range b.Ops {
+			if op.Op == machine.RET {
+				haveRet = true
+			}
+		}
+	}
+	if !haveRet {
+		t.Errorf("non-entry function must end with RET\n%s", mf)
+	}
+}
+
+func TestAllocateAssignsDistinctRegsToOverlappingValues(t *testing.T) {
+	f := prep(t, sec(`
+function cell() {
+    var a: float = 1.0;
+    var b: float = 2.0;
+    var c: float = a + b;
+    send(Y, a * b + c);
+}
+`), "cell")
+	mf, err := Select(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Allocate(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Spilled != 0 {
+		t.Errorf("tiny function should not spill, got %d spills", pf.Spilled)
+	}
+	// Every op must reference only valid registers.
+	for _, b := range pf.Blocks {
+		for _, op := range b.Ops {
+			if op.Dst >= machine.NumRegs || op.A >= machine.NumRegs || op.B >= machine.NumRegs {
+				t.Errorf("invalid register in %s", op)
+			}
+		}
+	}
+}
+
+func TestScheduleBlockRespectsLatency(t *testing.T) {
+	// fadd (lat 5) result consumed by sendy must be separated by >= 5 words.
+	b := &PBlock{Label: "t", Ops: []POp{
+		{Op: machine.LDI, Dst: 2, Imm: int32(machine.FloatWord(1.5))},
+		{Op: machine.LDI, Dst: 3, Imm: int32(machine.FloatWord(2.5))},
+		{Op: machine.FADDOP, Dst: 4, A: 2, B: 3},
+		{Op: machine.SENDY, A: 4},
+		{Op: machine.HALT},
+	}}
+	n, err := ScheduleBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tAdd, tSend = -1, -1
+	for i, w := range b.Scheduled {
+		if w[machine.FADD].Op == machine.FADDOP {
+			tAdd = i
+		}
+		if w[machine.IO].Op == machine.SENDY {
+			tSend = i
+		}
+	}
+	if tAdd < 0 || tSend < 0 {
+		t.Fatalf("ops missing from schedule (%d words)", n)
+	}
+	if tSend < tAdd+machine.Info(machine.FADDOP).Latency {
+		t.Errorf("send at %d consumes fadd at %d before latency %d elapsed",
+			tSend, tAdd, machine.Info(machine.FADDOP).Latency)
+	}
+}
+
+func TestScheduleBlockPacksIndependentOps(t *testing.T) {
+	// Independent ALU/FADD/FMUL ops should share words.
+	b := &PBlock{Label: "t", Ops: []POp{
+		{Op: machine.LDI, Dst: 2, Imm: 1},
+		{Op: machine.FADDOP, Dst: 3, A: 4, B: 5},
+		{Op: machine.FMULOP, Dst: 6, A: 7, B: 8},
+		{Op: machine.HALT},
+	}}
+	if _, err := ScheduleBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	w0 := b.Scheduled[0]
+	filled := 0
+	for u := machine.Unit(0); u < machine.NumUnits; u++ {
+		if w0[u].Op != machine.NOP {
+			filled++
+		}
+	}
+	if filled < 3 {
+		t.Errorf("first word should pack 3 independent ops, got %d", filled)
+	}
+}
+
+func TestScheduleBlockConditionalShape(t *testing.T) {
+	// BT must be followed immediately by JMP, with nothing after.
+	b := &PBlock{Label: "t", Ops: []POp{
+		{Op: machine.LDI, Dst: 2, Imm: 0},
+		{Op: machine.ICMPEQ, Dst: 3, A: 2, B: 0},
+		{Op: machine.BT, A: 3, Sym: "then"},
+		{Op: machine.JMP, Sym: "else"},
+	}}
+	if _, err := ScheduleBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	n := len(b.Scheduled)
+	if b.Scheduled[n-2][machine.CTRL].Op != machine.BT || b.Scheduled[n-1][machine.CTRL].Op != machine.JMP {
+		t.Errorf("terminator words wrong:\n%v\n%v", b.Scheduled[n-2], b.Scheduled[n-1])
+	}
+	// The BT must see the committed condition.
+	var tCmp = -1
+	for i, w := range b.Scheduled {
+		if w[machine.ALU].Op == machine.ICMPEQ {
+			tCmp = i
+		}
+	}
+	if n-2 < tCmp+machine.Info(machine.ICMPEQ).Latency {
+		t.Error("branch issued before its condition committed")
+	}
+}
+
+func TestBlockingOpsSerializeOnUnit(t *testing.T) {
+	// Two FDIVs must not overlap: the second starts >= 12 cycles after the
+	// first on the same (blocking) unit.
+	b := &PBlock{Label: "t", Ops: []POp{
+		{Op: machine.FDIV, Dst: 2, A: 3, B: 4},
+		{Op: machine.FDIV, Dst: 5, A: 6, B: 7},
+		{Op: machine.HALT},
+	}}
+	if _, err := ScheduleBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	var times []int
+	for i, w := range b.Scheduled {
+		if w[machine.FMUL].Op == machine.FDIV {
+			times = append(times, i)
+		}
+	}
+	if len(times) != 2 {
+		t.Fatalf("expected 2 fdivs in schedule, got %d", len(times))
+	}
+	if times[1]-times[0] < machine.Info(machine.FDIV).Latency {
+		t.Errorf("fdivs at %v overlap on the blocking unit", times)
+	}
+}
+
+func TestSequentialBlockSlower(t *testing.T) {
+	ops := []POp{
+		{Op: machine.LDI, Dst: 2, Imm: 1},
+		{Op: machine.FADDOP, Dst: 3, A: 4, B: 5},
+		{Op: machine.FMULOP, Dst: 6, A: 7, B: 8},
+		{Op: machine.IADD, Dst: 9, A: 2, B: 2},
+		{Op: machine.HALT},
+	}
+	b1 := &PBlock{Label: "a", Ops: append([]POp(nil), ops...)}
+	b2 := &PBlock{Label: "b", Ops: append([]POp(nil), ops...)}
+	n1, err := ScheduleBlock(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := SequentialBlock(b2)
+	if n2 < n1 {
+		t.Errorf("sequential emission (%d words) beat list scheduling (%d)", n2, n1)
+	}
+}
+
+func TestCountedLoopDetection(t *testing.T) {
+	f := prep(t, sec(`
+function cell() {
+    var i: int;
+    var acc: float = 0.0;
+    for i = 0 to 99 {
+        acc = acc + 1.5;
+    }
+    send(Y, acc);
+}
+`), "cell")
+	mf, err := Select(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loops int
+	for _, b := range mf.Blocks {
+		if b.Loop != nil {
+			loops++
+			if b.Loop.Trip != 100 {
+				t.Errorf("trip = %d, want 100", b.Loop.Trip)
+			}
+		}
+	}
+	if loops != 1 {
+		t.Errorf("expected exactly 1 detected counted loop, got %d\n%s", loops, mf)
+	}
+}
+
+func TestCountedLoopStep(t *testing.T) {
+	f := prep(t, sec(`
+function cell() {
+    var i: int;
+    var acc: float = 0.0;
+    for i = 10 to 50 step 5 {
+        acc = acc + 1.0;
+    }
+    send(Y, acc);
+}
+`), "cell")
+	mf, err := Select(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range mf.Blocks {
+		if b.Loop != nil {
+			if b.Loop.Trip != 9 { // 10,15,...,50
+				t.Errorf("trip = %d, want 9", b.Loop.Trip)
+			}
+			return
+		}
+	}
+	t.Error("stepped counted loop not detected")
+}
+
+func TestVariableBoundNotDetected(t *testing.T) {
+	f := prep(t, sec(`
+function helper(n: int): float {
+    var i: int;
+    var acc: float = 0.0;
+    for i = 0 to n {
+        acc = acc + 1.0;
+    }
+    return acc;
+}
+`), "helper")
+	mf, err := Select(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range mf.Blocks {
+		if b.Loop != nil {
+			t.Error("variable-bound loop must not be marked constant-trip")
+		}
+	}
+}
+
+func TestTryPipelineRejectsReasons(t *testing.T) {
+	b := &PBlock{Label: "x"}
+	_, res := TryPipeline(nil, b, "exit")
+	if res.Applied || !strings.Contains(res.Reason, "counted loop") {
+		t.Errorf("unexpected result %+v", res)
+	}
+	b2 := &PBlock{Label: "y", SelfLoop: true, Loop: &LoopInfo{Trip: 4}, HasSpills: true}
+	_, res2 := TryPipeline(nil, b2, "exit")
+	if res2.Applied || !strings.Contains(res2.Reason, "spill") {
+		t.Errorf("unexpected result %+v", res2)
+	}
+}
+
+func TestGenerateStats(t *testing.T) {
+	f := prep(t, sec(`
+function cell() {
+    var i: int;
+    var v: float;
+    var acc: float = 0.0;
+    for i = 0 to 31 {
+        receive(X, v);
+        acc = acc + v * v;
+    }
+    send(Y, acc);
+}
+`), "cell")
+	pf, st, err := Generate(f, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoopsSeen != 1 {
+		t.Errorf("LoopsSeen = %d, want 1", st.LoopsSeen)
+	}
+	if st.LoopsPipelined != 1 {
+		t.Errorf("LoopsPipelined = %d, want 1 (reason should be visible in block dump)\n%s", st.LoopsPipelined, pf)
+	}
+	if st.Words == 0 || st.MachineOps == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if WordCount(pf) != st.Words {
+		t.Errorf("WordCount mismatch: %d vs %d", WordCount(pf), st.Words)
+	}
+}
+
+func TestGenerateDisableFlags(t *testing.T) {
+	src := sec(`
+function cell() {
+    var i: int;
+    var v: float;
+    var acc: float = 0.0;
+    for i = 0 to 31 {
+        receive(X, v);
+        acc = acc + v * v;
+    }
+    send(Y, acc);
+}
+`)
+	f1 := prep(t, src, "cell")
+	f2 := prep(t, src, "cell")
+	_, st1, err := Generate(f1, true, Options{DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.LoopsPipelined != 0 {
+		t.Error("DisablePipelining ignored")
+	}
+	_, st2, err := Generate(f2, true, Options{DisableScheduling: true, DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Words <= st1.Words {
+		t.Errorf("naive emission (%d words) should be longer than scheduled (%d)", st2.Words, st1.Words)
+	}
+}

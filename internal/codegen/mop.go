@@ -1,0 +1,131 @@
+// Package codegen implements compiler phase 3: translation of optimized IR
+// into wide instruction words for the Warp cell, comprising instruction
+// selection, register allocation, list scheduling of basic blocks, and
+// software pipelining (modulo scheduling) of innermost loops.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// MOp is one machine operation whose operands are still virtual registers.
+// After register allocation the same structure carries physical registers
+// (the VReg fields then hold small numbers < machine.NumRegs).
+type MOp struct {
+	Op  machine.Opcode
+	Dst ir.VReg
+	A   ir.VReg
+	B   ir.VReg
+	Imm int32
+	// Sym is a data symbol (LOAD/STORE array base) or branch label (CTRL).
+	Sym string
+}
+
+func (m MOp) String() string {
+	info := machine.Info(m.Op)
+	s := info.Name
+	if info.HasDst {
+		s += fmt.Sprintf(" v%d", m.Dst)
+	}
+	if info.NumSrc >= 1 {
+		s += fmt.Sprintf(" v%d", m.A)
+	}
+	if info.NumSrc >= 2 {
+		s += fmt.Sprintf(" v%d", m.B)
+	}
+	if info.HasImm || m.Sym != "" {
+		if m.Sym != "" {
+			s += " @" + m.Sym
+		} else {
+			s += fmt.Sprintf(" #%d", m.Imm)
+		}
+	}
+	return s
+}
+
+// LoopInfo describes a pipelinable self-loop block: a counted loop whose
+// trip count is a compile-time constant (the restriction under which this
+// compiler applies software pipelining; everything else is list-scheduled).
+type LoopInfo struct {
+	// Trip is the constant trip count (iterations of the rotated body).
+	Trip int
+	// CounterReg is the register holding the induction variable; BranchIdx
+	// is the index of the loop-back conditional branch in Ops, and CmpIdx
+	// the index of the comparison feeding it.
+	CounterReg ir.VReg
+	BranchIdx  int
+	CmpIdx     int
+	IncIdx     int
+}
+
+// MBlock is a machine basic block.
+type MBlock struct {
+	Label string
+	Ops   []MOp
+	// SelfLoop marks a block whose conditional branch targets itself; Loop
+	// carries pipelining metadata when the trip count is known.
+	SelfLoop bool
+	Loop     *LoopInfo
+	// Scheduled holds the final instruction words once a scheduler has
+	// placed the ops; nil until then.
+	Scheduled []machine.Word
+}
+
+// MFunc is a function in machine-op form.
+type MFunc struct {
+	Name    string
+	Section int
+	Blocks  []*MBlock
+	Arrays  []ir.ArrayVar
+	// NumVRegs tracks virtual register allocation (ids 1..NumVRegs).
+	NumVRegs int
+	// IsEntry marks the section's entry function: it terminates with HALT
+	// and must take no parameters. Non-entry functions end with RET.
+	IsEntry bool
+	// Params are the parameter vregs (empty for entry functions).
+	Params []ir.VReg
+}
+
+// NewVReg allocates a fresh virtual register.
+func (f *MFunc) NewVReg() ir.VReg {
+	f.NumVRegs++
+	return ir.VReg(f.NumVRegs)
+}
+
+// NumOps returns the total machine-op count across blocks, a work metric.
+func (f *MFunc) NumOps() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// BlockLabel builds the label for block id of function fn.
+func BlockLabel(fn string, id int) string {
+	return fmt.Sprintf("%s.b%d", fn, id)
+}
+
+func (f *MFunc) String() string {
+	s := fmt.Sprintf("mfunc %s (section %d, %d vregs)\n", f.Name, f.Section, f.NumVRegs)
+	for _, a := range f.Arrays {
+		s += fmt.Sprintf("  array %s[%d]\n", a.Sym, a.Words)
+	}
+	for _, b := range f.Blocks {
+		s += b.Label + ":"
+		if b.SelfLoop {
+			s += " ; self-loop"
+			if b.Loop != nil {
+				s += fmt.Sprintf(" trip=%d", b.Loop.Trip)
+			}
+		}
+		s += "\n"
+		for _, op := range b.Ops {
+			s += "  " + op.String() + "\n"
+		}
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+// Package compiler is the sequential W2 compiler driver: it wires the four
+// phases of the reproduced system together.
+//
+//	Phase 1: parsing and semantic checking            (internal/parser, sem)
+//	Phase 2: flowgraph, local optimization, dataflow  (internal/ir, opt)
+//	Phase 3: software pipelining and code generation  (internal/codegen)
+//	Phase 4: I/O driver generation, assembly, linking (internal/iodriver, asm, link)
+//
+// The parallel compiler (internal/core) reuses exactly these pieces: the
+// master runs Frontend once, function masters run CompileFunction for their
+// function, and the section masters combine objects for the phase-4 tail.
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/ast"
+	"repro/internal/codegen"
+	"repro/internal/iodriver"
+	"repro/internal/ir"
+	"repro/internal/link"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Options configures a compilation.
+type Options struct {
+	Codegen codegen.Options
+	// DisableOpt skips phase-2 optimization (ablation).
+	DisableOpt bool
+}
+
+// FuncResult is the outcome of compiling one function — what a function
+// master produces and sends back to its section master.
+type FuncResult struct {
+	Name    string
+	Section int
+	IsEntry bool
+	Object  *asm.Object
+	Lines   int
+
+	OptStats opt.Stats
+	GenStats codegen.GenStats
+	// CPUTime is the measured host time spent compiling this function.
+	CPUTime time.Duration
+	// Diags carries warnings produced during this function's compilation;
+	// the section master merges them (the paper's diagnostic combining).
+	Diags *source.DiagBag
+}
+
+// Result is a complete module compilation.
+type Result struct {
+	ModuleName string
+	Module     *link.Module
+	Driver     *iodriver.Driver
+	Funcs      []*FuncResult
+
+	// Phase timings of this sequential run.
+	FrontendTime time.Duration
+	MiddleTime   time.Duration // phases 2+3 across all functions
+	BackendTime  time.Duration // assembly + linking + driver
+}
+
+// Frontend runs phase 1. On error the returned AST may be partial; callers
+// must abort when diags has errors (the paper's master does exactly this).
+func Frontend(file string, src []byte) (*ast.Module, *sem.Info, *source.DiagBag) {
+	var bag source.DiagBag
+	m := parser.Parse(file, src, &bag)
+	if bag.HasErrors() {
+		return m, nil, &bag
+	}
+	info := sem.Check(m, &bag)
+	return m, info, &bag
+}
+
+// CompileFunction runs phases 2 and 3 for one function of a checked module.
+// The function's section-local callees are lowered and inlined as part of
+// the work (each function master re-derives what it needs — the processes
+// share no memory).
+func CompileFunction(m *ast.Module, info *sem.Info, fn *ast.FuncDecl, opts Options) (*FuncResult, error) {
+	start := time.Now()
+	var sec *ast.Section
+	for _, s := range m.Sections {
+		if s.Index == fn.SectionIndex {
+			sec = s
+		}
+	}
+	if sec == nil {
+		return nil, fmt.Errorf("function %s names unknown section %d", fn.Name, fn.SectionIndex)
+	}
+	isEntry := sec.Entry() == fn
+	if isEntry && len(fn.Params) > 0 {
+		return nil, fmt.Errorf("entry function %s of section %d must take no parameters", fn.Name, sec.Index)
+	}
+
+	// Lower this function and every earlier function of its section (its
+	// potential callees), then inline in declaration order.
+	funcs := make(map[string]*ir.Func)
+	var target *ir.Func
+	for _, g := range sec.Funcs {
+		f, err := ir.Lower(g, info)
+		if err != nil {
+			return nil, fmt.Errorf("lowering %s: %w", g.Name, err)
+		}
+		if err := ir.InlineCalls(f, funcs); err != nil {
+			return nil, fmt.Errorf("inlining into %s: %w", g.Name, err)
+		}
+		funcs[g.Name] = f
+		if g == fn {
+			target = f
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("function %s not found in section %d", fn.Name, sec.Index)
+	}
+
+	res := &FuncResult{
+		Name:    fn.Name,
+		Section: sec.Index,
+		IsEntry: isEntry,
+		Lines:   ast.FuncLines(fn),
+		Diags:   &source.DiagBag{},
+	}
+
+	if !opts.DisableOpt {
+		res.OptStats = opt.Optimize(target)
+	}
+	ir.InvertLoops(target)
+	// Re-run cleanup so inverted loops merge into self-loop blocks.
+	opt.MergeStraightLine(target)
+	opt.EliminateDeadCode(target)
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: invalid IR entering codegen: %w", fn.Name, err)
+	}
+
+	pf, gs, err := codegen.Generate(target, isEntry, opts.Codegen)
+	if err != nil {
+		return nil, err
+	}
+	res.GenStats = gs
+
+	obj, err := asm.Assemble(pf)
+	if err != nil {
+		return nil, err
+	}
+	res.Object = obj
+	res.CPUTime = time.Since(start)
+	return res, nil
+}
+
+// CompileModule runs the complete sequential compiler on source text.
+func CompileModule(file string, src []byte, opts Options) (*Result, error) {
+	t0 := time.Now()
+	m, info, bag := Frontend(file, src)
+	if bag.HasErrors() {
+		return nil, fmt.Errorf("frontend errors:\n%s", bag.String())
+	}
+	res := &Result{ModuleName: m.Name, FrontendTime: time.Since(t0)}
+
+	t1 := time.Now()
+	for _, sec := range m.Sections {
+		for _, fn := range sec.Funcs {
+			fr, err := CompileFunction(m, info, fn, opts)
+			if err != nil {
+				return nil, fmt.Errorf("compiling %s: %w", fn.Name, err)
+			}
+			res.Funcs = append(res.Funcs, fr)
+		}
+	}
+	res.MiddleTime = time.Since(t1)
+
+	t2 := time.Now()
+	linked, err := LinkResults(m.Name, res.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	res.Module = linked
+	res.Driver = iodriver.Generate(m)
+	res.BackendTime = time.Since(t2)
+	return res, nil
+}
+
+// LinkResults performs the phase-4 tail shared by the sequential and the
+// parallel compiler: grouping function objects by section and linking the
+// download module.
+func LinkResults(moduleName string, funcs []*FuncResult) (*link.Module, error) {
+	bySection := make(map[int][]*asm.Object)
+	for _, fr := range funcs {
+		bySection[fr.Section] = append(bySection[fr.Section], fr.Object)
+	}
+	return link.LinkModule(moduleName, bySection)
+}

@@ -1,0 +1,168 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/interp"
+	"repro/internal/warpsim"
+)
+
+type codegenOptions = codegen.Options
+
+// Randomized end-to-end differential testing: small random cell programs are
+// compiled, linked, executed on the array simulator, and checked against the
+// reference interpreter. This covers op/latency/scheduling interactions that
+// hand-written tests miss.
+
+type progRng struct{ state uint64 }
+
+func (r *progRng) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+func (r *progRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randomProgram builds a random single-cell module consuming `inputs` floats
+// and emitting at least one value. All arithmetic is kept bounded so float32
+// and float64 evaluations agree within tolerance.
+func randomProgram(seed uint64, inputs int) string {
+	r := &progRng{state: seed*2654435761 + 1}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module r%d (in xs: float[%d], out ys: float[8])\n", seed, inputs)
+	sb.WriteString("section 1 {\n    function cell() {\n")
+	sb.WriteString("        var a: float = 0.5;\n        var b: float = 1.25;\n")
+	sb.WriteString("        var c: float;\n        var n: int;\n        var i: int;\n")
+	sb.WriteString("        var buf: float[8];\n")
+
+	stmts := []string{
+		"a = a * 0.5 + b * 0.25;",
+		"b = min(a, b) + 0.125;",
+		"c = max(a, -b) * 0.5;",
+		"c = abs(a - b);",
+		"a = sqrt(abs(b) + 0.5);",
+		"buf[i % 8] = a;",
+		"b = buf[(i + 3) % 8] * 0.5 + 0.25;",
+		"n = n + 1;",
+		"n = n * 2 % 7 + 1;",
+		"c = float(n % 5) * 0.2;",
+		"a = (a + b + c) * 0.3125;",
+	}
+	// Conditions are integer-only: branching on computed floats would make
+	// the float32 cell and the float64 interpreter legitimately diverge at
+	// rounding boundaries.
+	cond := []string{"n % 2 == 0", "n > 3", "n % 3 != 1", "n > 1 && n < 9"}
+
+	// Receive loop over the inputs with a random body.
+	fmt.Fprintf(&sb, "        for i = 0 to %d {\n", inputs-1)
+	sb.WriteString("            receive(X, c);\n")
+	sb.WriteString("            a = a * 0.5 + c * 0.25;\n")
+	for k := 0; k < 3+r.intn(5); k++ {
+		if r.intn(4) == 0 {
+			fmt.Fprintf(&sb, "            if %s {\n                %s\n            } else {\n                %s\n            }\n",
+				cond[r.intn(len(cond))], stmts[r.intn(len(stmts))], stmts[r.intn(len(stmts))])
+		} else {
+			fmt.Fprintf(&sb, "            %s\n", stmts[r.intn(len(stmts))])
+		}
+	}
+	sb.WriteString("        }\n")
+	// A post-loop computation and the outputs.
+	for k := 0; k < 1+r.intn(3); k++ {
+		fmt.Fprintf(&sb, "        %s\n", stmts[r.intn(len(stmts))])
+	}
+	sb.WriteString("        send(Y, a);\n        send(Y, b);\n        send(Y, c + float(n));\n")
+	sb.WriteString("    }\n}\n")
+	return sb.String()
+}
+
+func TestRandomProgramsDifferential(t *testing.T) {
+	const runs = 25
+	for seed := uint64(1); seed <= runs; seed++ {
+		src := randomProgram(seed, 6)
+		res, err := CompileModule("rand.w2", []byte(src), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile failed: %v\n%s", seed, err, src)
+		}
+		input := []float64{0.5, -1.25, 2.0, 0.0, 3.5, -0.75}
+
+		arr := warpsim.NewArray(res.Module, warpsim.Config{MaxCycles: 2_000_000})
+		words, _, err := arr.Run(res.Driver.EncodeInput(input))
+		if err != nil {
+			t.Fatalf("seed %d: simulation failed: %v\n%s", seed, err, src)
+		}
+		sim := res.Driver.DecodeOutput(words)
+
+		m, info, bag := Frontend("rand.w2", []byte(src))
+		if bag.HasErrors() {
+			t.Fatalf("seed %d: %s", seed, bag.String())
+		}
+		var vals []interp.Value
+		for _, v := range input {
+			vals = append(vals, interp.FloatVal(v))
+		}
+		ref, err := interp.RunModule(m, info, vals, interp.Limits{})
+		if err != nil {
+			t.Fatalf("seed %d: interpreter failed: %v\n%s", seed, err, src)
+		}
+		if len(sim) != len(ref) {
+			t.Fatalf("seed %d: output lengths differ: sim=%d ref=%d\n%s", seed, len(sim), len(ref), src)
+		}
+		for i := range sim {
+			want := ref[i].AsFloat()
+			diff := math.Abs(sim[i] - want)
+			scale := math.Max(1, math.Max(math.Abs(sim[i]), math.Abs(want)))
+			if diff > 1e-3*scale {
+				t.Errorf("seed %d: out[%d] sim=%g ref=%g\n%s", seed, i, sim[i], want, src)
+			}
+		}
+	}
+}
+
+// The same random corpus must also survive every code-generation ablation.
+func TestRandomProgramsAblationsAgree(t *testing.T) {
+	for seed := uint64(100); seed < 108; seed++ {
+		src := randomProgram(seed, 4)
+		input := []float64{1, -0.5, 0.25, 2}
+		var first []float64
+		for _, opts := range []Options{
+			{},
+			{Codegen: codegenNoPipeline()},
+			{Codegen: codegenNaive()},
+		} {
+			res, err := CompileModule("rand.w2", []byte(src), opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			arr := warpsim.NewArray(res.Module, warpsim.Config{MaxCycles: 2_000_000})
+			words, _, err := arr.Run(res.Driver.EncodeInput(input))
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			out := res.Driver.DecodeOutput(words)
+			if first == nil {
+				first = out
+				continue
+			}
+			if len(out) != len(first) {
+				t.Fatalf("seed %d: ablation changed output count", seed)
+			}
+			for i := range out {
+				if out[i] != first[i] {
+					t.Errorf("seed %d: ablation changed out[%d]: %g vs %g", seed, i, out[i], first[i])
+				}
+			}
+		}
+	}
+}
+
+func codegenNoPipeline() (o codegenOptions) { o.DisablePipelining = true; return }
+func codegenNaive() (o codegenOptions) {
+	o.DisablePipelining = true
+	o.DisableScheduling = true
+	return
+}

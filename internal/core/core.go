@@ -1,0 +1,333 @@
+// Package core implements the parallel compiler: the three-level process
+// hierarchy of the paper mapped onto Go's concurrency primitives.
+//
+//	master          (one)           parses the module once to learn its
+//	                                structure, aborts on any front-end
+//	                                error, forks the section masters, and
+//	                                runs the sequential phase-4 tail.
+//	section masters (one/section)   fork one function master per function
+//	                                of their section, then combine the
+//	                                objects and diagnostic output.
+//	function masters(one/function)  run phases 2+3 for one function on
+//	                                some workstation of the backend.
+//
+// Processes on the same level never communicate, only parent and child do —
+// exactly the paper's structure. Workstations are abstracted behind the
+// Backend interface: internal/cluster provides an in-process pool
+// (goroutines) and a distributed pool (net/rpc worker processes).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/iodriver"
+	"repro/internal/link"
+	"repro/internal/parser"
+	"repro/internal/sched"
+	"repro/internal/source"
+)
+
+// CompileRequest names one function of a module for a function master. The
+// full source travels with the request because the processes share no
+// memory (the paper's masters likewise hand the source and parse
+// information to their children).
+type CompileRequest struct {
+	File    string
+	Source  []byte
+	Section int // 1-based section index
+	Index   int // 0-based function position within the section
+	Opts    compiler.Options
+}
+
+// CompileReply is the function master's result: the assembled object plus
+// the work statistics the section master aggregates.
+type CompileReply struct {
+	Name        string
+	Section     int
+	IsEntry     bool
+	Lines       int
+	ObjectBytes []byte
+	CPUTime     time.Duration
+	Warnings    []string
+}
+
+// Backend runs compile requests on some processor. Implementations must be
+// safe for concurrent use; Compile blocks until a processor is free
+// (first-come-first-served, as in the paper).
+type Backend interface {
+	Compile(req CompileRequest) (*CompileReply, error)
+	// Workers returns the number of processors behind the backend.
+	Workers() int
+}
+
+// RunFunctionMaster executes one compile request in the current process.
+// Backends call it on their workers; cmd/warpworker exposes it over RPC.
+func RunFunctionMaster(req CompileRequest) (*CompileReply, error) {
+	// Each function master re-derives everything from source: the
+	// workstations share only the file system.
+	m, info, bag := compiler.Frontend(req.File, req.Source)
+	if bag.HasErrors() {
+		return nil, fmt.Errorf("function master: front-end errors:\n%s", bag.String())
+	}
+	for _, sec := range m.Sections {
+		if sec.Index != req.Section {
+			continue
+		}
+		if req.Index < 0 || req.Index >= len(sec.Funcs) {
+			return nil, fmt.Errorf("function master: section %d has no function %d", req.Section, req.Index)
+		}
+		fn := sec.Funcs[req.Index]
+		fr, err := compiler.CompileFunction(m, info, fn, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		reply := &CompileReply{
+			Name:        fr.Name,
+			Section:     fr.Section,
+			IsEntry:     fr.IsEntry,
+			Lines:       fr.Lines,
+			ObjectBytes: asm.Encode(fr.Object),
+			CPUTime:     fr.CPUTime,
+		}
+		for _, d := range fr.Diags.All() {
+			reply.Warnings = append(reply.Warnings, d.String())
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("function master: no section %d in module", req.Section)
+}
+
+// SectionResult is what one section master hands back to the master.
+type SectionResult struct {
+	Section int
+	Objects []*asm.Object
+	// CPUTime totals the function masters' compile times; MasterTime is the
+	// section master's own coordination time; FuncCPU breaks CPUTime down
+	// per function.
+	CPUTime    time.Duration
+	MasterTime time.Duration
+	FuncCPU    map[string]time.Duration
+	// Lines[i] is the source line count of Objects[i]'s function.
+	Lines    []int
+	Warnings []string
+}
+
+// ParallelStats records the timing decomposition of one parallel
+// compilation (elapsed/user time, per-level CPU, per-function times).
+type ParallelStats struct {
+	Elapsed time.Duration
+	// SetupTime is the master's extra structure parse; SchedulingTime its
+	// section-master coordination; BackendTail the sequential assembly/link.
+	SetupTime      time.Duration
+	FrontendTime   time.Duration
+	SchedulingTime time.Duration
+	BackendTail    time.Duration
+	// FuncCPU lists every function master's CPU time.
+	FuncCPU map[string]time.Duration
+	// SectionCPU lists each section master's coordination time.
+	SectionCPU map[int]time.Duration
+	Workers    int
+}
+
+// TotalFuncCPU sums all function masters' CPU time.
+func (s *ParallelStats) TotalFuncCPU() time.Duration {
+	var t time.Duration
+	for _, d := range s.FuncCPU {
+		t += d
+	}
+	return t
+}
+
+// ParallelCompile runs the full parallel compiler on src using the backend's
+// processors.
+func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Options) (*compiler.Result, *ParallelStats, error) {
+	start := time.Now()
+	stats := &ParallelStats{
+		FuncCPU:    make(map[string]time.Duration),
+		SectionCPU: make(map[int]time.Duration),
+		Workers:    backend.Workers(),
+	}
+
+	// Master, step 1: the extra structural parse that drives partitioning
+	// ("setup time" in the paper's overhead accounting).
+	t0 := time.Now()
+	var outlineBag source.DiagBag
+	outline := parser.ParseOutline(file, src, &outlineBag)
+	stats.SetupTime = time.Since(t0)
+	if outlineBag.HasErrors() || outline == nil {
+		return nil, stats, fmt.Errorf("master: syntax errors, compilation aborted:\n%s", outlineBag.String())
+	}
+
+	// Master, step 2: phase 1 proper. All syntax and semantic errors are
+	// discovered here and abort the compilation before any fork.
+	t1 := time.Now()
+	m, _, bag := compiler.Frontend(file, src)
+	stats.FrontendTime = time.Since(t1)
+	if bag.HasErrors() {
+		return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", bag.String())
+	}
+
+	// Master, step 3: fork one section master per section and wait.
+	t2 := time.Now()
+	results := make([]*SectionResult, len(outline.Sections))
+	errs := make([]error, len(outline.Sections))
+	var wg sync.WaitGroup
+	for i, so := range outline.Sections {
+		wg.Add(1)
+		go func(i int, so parser.SectionOutline) {
+			defer wg.Done()
+			results[i], errs[i] = runSectionMaster(file, src, so, backend, opts)
+		}(i, so)
+	}
+	wg.Wait()
+	stats.SchedulingTime = time.Since(t2)
+
+	var funcResults []*compiler.FuncResult
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, errs[i])
+		}
+		stats.SectionCPU[r.Section] = r.MasterTime
+		for name, d := range r.FuncCPU {
+			stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, name)] = d
+		}
+		for k, obj := range r.Objects {
+			fr := &compiler.FuncResult{
+				Name:    obj.Name,
+				Section: obj.Section,
+				IsEntry: obj.IsEntry,
+				Object:  obj,
+			}
+			if k < len(r.Lines) {
+				fr.Lines = r.Lines[k]
+			}
+			if d, ok := r.FuncCPU[obj.Name]; ok {
+				fr.CPUTime = d
+			}
+			funcResults = append(funcResults, fr)
+		}
+	}
+
+	// Master, step 4: the sequential tail (assembly already happened per
+	// function; what remains is linking and driver generation — the paper's
+	// phase 4 minus the per-function work).
+	t3 := time.Now()
+	linked, err := compiler.LinkResults(m.Name, funcResults)
+	if err != nil {
+		return nil, stats, err
+	}
+	res := &compiler.Result{
+		ModuleName: m.Name,
+		Module:     linked,
+		Driver:     iodriver.Generate(m),
+		Funcs:      funcResults,
+	}
+	stats.BackendTail = time.Since(t3)
+	stats.Elapsed = time.Since(start)
+	return res, stats, nil
+}
+
+// runSectionMaster forks one function master per function of the section
+// (concurrently — the backend's worker pool provides the FCFS placement),
+// combines the objects in declaration order, and merges diagnostics.
+func runSectionMaster(file string, src []byte, so parser.SectionOutline, backend Backend, opts compiler.Options) (*SectionResult, error) {
+	t0 := time.Now()
+	res := &SectionResult{Section: so.Index, FuncCPU: make(map[string]time.Duration)}
+
+	replies := make([]*CompileReply, len(so.Functions))
+	errs := make([]error, len(so.Functions))
+	var wg sync.WaitGroup
+	for i := range so.Functions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = backend.Compile(CompileRequest{
+				File:    file,
+				Source:  src,
+				Section: so.Index,
+				Index:   i,
+				Opts:    opts,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("function %s: %w", so.Functions[i].Name, err)
+		}
+	}
+	// Combine results in declaration order so the section's phase-4 input
+	// is identical to the sequential compiler's.
+	for _, r := range replies {
+		obj, err := asm.Decode(r.ObjectBytes)
+		if err != nil {
+			return nil, fmt.Errorf("decoding object %s: %w", r.Name, err)
+		}
+		res.Objects = append(res.Objects, obj)
+		res.Lines = append(res.Lines, r.Lines)
+		res.CPUTime += r.CPUTime
+		res.FuncCPU[r.Name] = r.CPUTime
+		res.Warnings = append(res.Warnings, r.Warnings...)
+	}
+	res.MasterTime = time.Since(t0) - res.CPUTime
+	if res.MasterTime < 0 {
+		res.MasterTime = 0
+	}
+	return res, nil
+}
+
+// StatsFromReplies fills per-function CPU times in stats; exposed for
+// backends that track their own replies.
+func StatsFromReplies(stats *ParallelStats, replies []*CompileReply) {
+	for _, r := range replies {
+		stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, r.Name)] = r.CPUTime
+	}
+}
+
+// Tasks converts an outline to scheduler tasks (for grouped placement).
+func Tasks(o *parser.Outline) []sched.Task {
+	var out []sched.Task
+	for _, so := range o.Sections {
+		for _, fo := range so.Functions {
+			out = append(out, sched.Task{
+				Name:      fo.Name,
+				Section:   fo.Section,
+				Index:     fo.Index,
+				Lines:     fo.Lines,
+				LoopDepth: fo.LoopDepth,
+			})
+		}
+	}
+	return out
+}
+
+// VerifySameOutput checks that a parallel compilation produced exactly the
+// same download module as the sequential compiler — the paper's requirement
+// that "the parallel compiler produces the same input for the assembly
+// phase as the sequential compiler". Returns an error describing the first
+// difference.
+func VerifySameOutput(seq, par *link.Module) error {
+	if len(seq.Cells) != len(par.Cells) {
+		return fmt.Errorf("cell count differs: %d vs %d", len(seq.Cells), len(par.Cells))
+	}
+	for i := range seq.Cells {
+		a, b := seq.Cells[i], par.Cells[i]
+		if len(a.Code) != len(b.Code) {
+			return fmt.Errorf("cell %d code size differs: %d vs %d", i, len(a.Code), len(b.Code))
+		}
+		for w := range a.Code {
+			if a.Code[w] != b.Code[w] {
+				return fmt.Errorf("cell %d word %d differs:\n  seq: %s\n  par: %s", i, w, a.Code[w], b.Code[w])
+			}
+		}
+		if a.DataWords != b.DataWords {
+			return fmt.Errorf("cell %d data size differs", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/warpsim"
+	"repro/internal/wgen"
+)
+
+// localBackend is a minimal in-package backend (the real pools live in
+// internal/cluster; this avoids an import cycle in tests).
+type localBackend struct {
+	sem chan struct{}
+}
+
+func newLocalBackend(n int) *localBackend {
+	return &localBackend{sem: make(chan struct{}, n)}
+}
+
+func (b *localBackend) Workers() int { return cap(b.sem) }
+
+func (b *localBackend) Compile(req CompileRequest) (*CompileReply, error) {
+	b.sem <- struct{}{}
+	defer func() { <-b.sem }()
+	return RunFunctionMaster(req)
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, src := range [][]byte{
+		wgen.SyntheticProgram(wgen.Small, 4),
+		wgen.MultiSectionProgram(wgen.Small, 3),
+		wgen.UserProgram(),
+	} {
+		seq, err := compiler.CompileModule("m.w2", src, compiler.Options{})
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		par, stats, err := ParallelCompile("m.w2", src, newLocalBackend(4), compiler.Options{})
+		if err != nil {
+			t.Fatalf("parallel: %v", err)
+		}
+		if err := VerifySameOutput(seq.Module, par.Module); err != nil {
+			t.Errorf("parallel output differs from sequential: %v", err)
+		}
+		if stats.Elapsed <= 0 || stats.Workers != 4 {
+			t.Errorf("stats not populated: %+v", stats)
+		}
+		if len(stats.FuncCPU) != len(seq.Funcs) {
+			t.Errorf("per-function CPU times: got %d, want %d", len(stats.FuncCPU), len(seq.Funcs))
+		}
+	}
+}
+
+func TestParallelResultRunsOnSimulator(t *testing.T) {
+	src := wgen.SyntheticProgram(wgen.Small, 2)
+	par, _, err := ParallelCompile("m.w2", src, newLocalBackend(2), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := warpsim.NewArray(par.Module, warpsim.Config{MaxCycles: 5_000_000})
+	out, _, err := arr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("expected one output from the entry, got %d", len(out))
+	}
+}
+
+func TestMasterAbortsOnErrors(t *testing.T) {
+	// Syntax error: the master's structure parse must abort before forking.
+	_, _, err := ParallelCompile("bad.w2", []byte("module m section {"), newLocalBackend(2), compiler.Options{})
+	if err == nil || !strings.Contains(err.Error(), "master: syntax errors") {
+		t.Errorf("expected master syntax abort, got %v", err)
+	}
+	// Semantic error: discovered in the master's phase 1.
+	bad := []byte(`
+module m
+section 1 {
+    function f() { undeclared = 1; }
+}
+`)
+	_, _, err = ParallelCompile("bad2.w2", bad, newLocalBackend(2), compiler.Options{})
+	if err == nil || !strings.Contains(err.Error(), "front-end errors") {
+		t.Errorf("expected master semantic abort, got %v", err)
+	}
+}
+
+func TestRunFunctionMaster(t *testing.T) {
+	src := wgen.SyntheticProgram(wgen.Small, 2)
+	reply, err := RunFunctionMaster(CompileRequest{
+		File: "m.w2", Source: src, Section: 1, Index: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Name != "small_1" || reply.IsEntry {
+		t.Errorf("unexpected reply: %+v", reply)
+	}
+	if len(reply.ObjectBytes) == 0 || reply.CPUTime <= 0 {
+		t.Error("reply must carry object bytes and a CPU time")
+	}
+	// Entry function.
+	reply2, err := RunFunctionMaster(CompileRequest{
+		File: "m.w2", Source: src, Section: 1, Index: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply2.IsEntry {
+		t.Error("last function of the section must be the entry")
+	}
+	// Out-of-range index.
+	if _, err := RunFunctionMaster(CompileRequest{File: "m.w2", Source: src, Section: 1, Index: 9}); err == nil {
+		t.Error("bad index must error")
+	}
+	if _, err := RunFunctionMaster(CompileRequest{File: "m.w2", Source: src, Section: 7, Index: 0}); err == nil {
+		t.Error("bad section must error")
+	}
+}
+
+func TestTasksFromOutline(t *testing.T) {
+	var bag source.DiagBag
+	o := parser.ParseOutline("u.w2", wgen.UserProgram(), &bag)
+	if o == nil || bag.HasErrors() {
+		t.Fatal(bag.String())
+	}
+	tasks := Tasks(o)
+	if len(tasks) != 9 {
+		t.Fatalf("tasks = %d, want 9", len(tasks))
+	}
+	large := 0
+	for _, task := range tasks {
+		if task.Lines > 200 {
+			large++
+		}
+	}
+	if large != 3 {
+		t.Errorf("large tasks = %d, want 3", large)
+	}
+}
+
+func TestVerifySameOutputDetectsDifferences(t *testing.T) {
+	src := wgen.SyntheticProgram(wgen.Tiny, 1)
+	a, err := compiler.CompileModule("m.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compiler.CompileModule("m.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySameOutput(a.Module, b.Module); err != nil {
+		t.Fatalf("identical compiles should verify: %v", err)
+	}
+	// Corrupt one word.
+	b.Module.Cells[0].Code[0][0].Imm++
+	if err := VerifySameOutput(a.Module, b.Module); err == nil {
+		t.Error("corruption not detected")
+	}
+}

@@ -1,0 +1,168 @@
+// Package costmodel calibrates the discrete-event simulation of the 1989
+// host system: how many CPU-seconds each compiler phase costs on one SUN
+// workstation, how big Lisp working sets are, and the capacities of the
+// shared Ethernet and file server.
+//
+// One parameter set drives every reproduced figure; nothing is tuned per
+// experiment. The anchors come from the paper itself:
+//
+//   - §4.3: ~300-line functions compile in 19–22 minutes, 5–45-line
+//     functions in 2–6 minutes (sequential compiler).
+//   - §3.4: parsing is under 5% of sequential compilation time.
+//   - §4.2.3: system overhead contributors are Lisp process startup (core
+//     image download), network load, garbage collection, file-server load;
+//     the sequential compiler swaps when a program exceeds one
+//     workstation's memory ("negative system overhead").
+package costmodel
+
+// Params holds every knob of the simulated host system.
+type Params struct {
+	// --- compiler phase costs (CPU seconds on one workstation) ---
+
+	// ParseSecPerLine is phase 1 (parsing + semantic checking) per source
+	// line; it also prices the master's extra structural parse.
+	ParseSecPerLine float64
+	// CompileFixed + CompileSecPerLine×lines price phases 2+3 for one
+	// function; DepthFactor multiplies per loop-nesting level beyond one
+	// (optimization and scheduling work grows with nesting).
+	CompileFixed      float64
+	CompileSecPerLine float64
+	DepthFactor       float64
+	// AsmSecPerLine prices phase 4 assembly per function line (sequential).
+	AsmSecPerLine float64
+	// LinkFixed prices final linking and download-module generation.
+	LinkFixed float64
+	// CombineSecPerFunc is the section master's result/diagnostic combining.
+	CombineSecPerFunc float64
+	// MasterFixed is the C master/section-master process overhead.
+	MasterFixed float64
+
+	// --- host system ---
+
+	// LispStartupSec is Common Lisp process creation and initialization
+	// (excluding the core-image download, priced via ImageMB).
+	LispStartupSec float64
+	// ImageMB is the Lisp core image pulled from the file server at
+	// process start.
+	ImageMB float64
+	// ObjectMB is the compiled-object writeback per function.
+	ObjectMB float64
+	// EthernetMBps and FileServerMBps are the shared-medium capacities.
+	EthernetMBps   float64
+	FileServerMBps float64
+
+	// --- memory model ---
+
+	// NodeMemMB is one workstation's usable memory. WSBaseMB is the
+	// resident Lisp system; ModuleMBPerLine the parse trees and symbol
+	// tables for the whole module (held by every compiler process);
+	// WSPerLineMB the compiler's working set per source line of the
+	// function being compiled; RetainPerLineMB what the long-lived
+	// sequential Lisp process retains per already-compiled line (heap
+	// growth that eventually forces paging — the paper's "program that
+	// does not fit into the local memory and system space of a single
+	// workstation").
+	NodeMemMB       float64
+	WSBaseMB        float64
+	ModuleMBPerLine float64
+	WSPerLineMB     float64
+	RetainPerLineMB float64
+	// SwapCPUFactor inflates CPU time per unit of memory pressure
+	// (excess/NodeMem, capped at MaxPressure — cold retained pages are
+	// evicted once and only the active set thrashes); SwapIOFactor converts
+	// CPU-seconds×pressure into megabytes paged to the (diskless!) file
+	// server over the Ethernet.
+	SwapCPUFactor float64
+	SwapIOFactor  float64
+	MaxPressure   float64
+	// GCSecPerMB prices garbage collection per MB of working set per
+	// compiled function.
+	GCSecPerMB float64
+}
+
+// Default1989 is the calibrated parameter set used by all experiments.
+func Default1989() Params {
+	return Params{
+		ParseSecPerLine:   0.06,
+		CompileFixed:      4.0,
+		CompileSecPerLine: 3.2,
+		DepthFactor:       1.18,
+		AsmSecPerLine:     0.3,
+		LinkFixed:         4.0,
+		CombineSecPerFunc: 1.5,
+		MasterFixed:       3.0,
+
+		LispStartupSec: 25.0,
+		ImageMB:        12.0,
+		ObjectMB:       0.25,
+		EthernetMBps:   1.0, // 10 Mbit/s Ethernet, realistically ~8 Mbit/s
+		FileServerMBps: 1.6,
+
+		NodeMemMB:       16.0,
+		WSBaseMB:        12.0,
+		ModuleMBPerLine: 0.005,
+		WSPerLineMB:     0.01,
+		RetainPerLineMB: 0.05,
+		SwapCPUFactor:   1.0,
+		SwapIOFactor:    0.5,
+		MaxPressure:     0.25,
+		GCSecPerMB:      0.5,
+	}
+}
+
+// ParseSec prices phase 1 for a module of totalLines.
+func (p Params) ParseSec(totalLines int) float64 {
+	return float64(totalLines) * p.ParseSecPerLine
+}
+
+// CompileSec prices phases 2+3 for one function, before memory effects.
+func (p Params) CompileSec(lines, loopDepth int) float64 {
+	c := p.CompileFixed + p.CompileSecPerLine*float64(lines)
+	for d := 1; d < loopDepth; d++ {
+		c *= p.DepthFactor
+	}
+	return c
+}
+
+// AsmSec prices phase-4 assembly for one function.
+func (p Params) AsmSec(lines int) float64 {
+	return p.AsmSecPerLine * float64(lines)
+}
+
+// WorkingSetMB is the compiler's working set while compiling one function,
+// in a process whose parse trees and symbol tables cover contextLines of
+// source (the whole module for the sequential compiler; only the process's
+// own partition for a parallel function master — the paper's "each works on
+// a smaller subproblem"), plus retainedMB of accumulated heap.
+func (p Params) WorkingSetMB(lines, contextLines int, retainedMB float64) float64 {
+	return p.WSBaseMB + p.ModuleMBPerLine*float64(contextLines) +
+		p.WSPerLineMB*float64(lines) + retainedMB
+}
+
+// MemoryPressure returns excess/NodeMem, capped at MaxPressure (0 when the
+// working set fits).
+func (p Params) MemoryPressure(wsMB float64) float64 {
+	if wsMB <= p.NodeMemMB {
+		return 0
+	}
+	pr := (wsMB - p.NodeMemMB) / p.NodeMemMB
+	if p.MaxPressure > 0 && pr > p.MaxPressure {
+		pr = p.MaxPressure
+	}
+	return pr
+}
+
+// SwapCPU returns the CPU inflation for a compile under memory pressure.
+func (p Params) SwapCPU(cpuSec, pressure float64) float64 {
+	return cpuSec * p.SwapCPUFactor * pressure
+}
+
+// SwapMB returns the paging traffic (to the file server) for a compile.
+func (p Params) SwapMB(cpuSec, pressure float64) float64 {
+	return cpuSec * pressure * p.SwapIOFactor
+}
+
+// GCSec prices garbage collection for one compiled function.
+func (p Params) GCSec(wsMB float64) float64 {
+	return p.GCSecPerMB * wsMB
+}

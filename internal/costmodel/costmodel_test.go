@@ -1,0 +1,89 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsSane(t *testing.T) {
+	p := Default1989()
+	if p.CompileSecPerLine <= 0 || p.ParseSecPerLine <= 0 || p.LispStartupSec <= 0 {
+		t.Fatal("cost parameters must be positive")
+	}
+	if p.NodeMemMB <= p.WSBaseMB {
+		t.Error("the Lisp base image must fit in node memory")
+	}
+	if p.MaxPressure <= 0 || p.MaxPressure > 1 {
+		t.Errorf("MaxPressure = %g out of (0,1]", p.MaxPressure)
+	}
+}
+
+func TestCompileSecMonotone(t *testing.T) {
+	p := Default1989()
+	prev := 0.0
+	for _, lines := range []int{4, 35, 100, 280, 360} {
+		c := p.CompileSec(lines, 2)
+		if c <= prev {
+			t.Errorf("CompileSec(%d) = %g not increasing", lines, c)
+		}
+		prev = c
+	}
+	if p.CompileSec(100, 3) <= p.CompileSec(100, 2) {
+		t.Error("loop depth must increase cost")
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	p := Default1989()
+	// §4.3: ~300-line functions take 19-22 minutes.
+	if c := p.CompileSec(300, 3); c < 900 || c > 1500 {
+		t.Errorf("300-line compile %.0fs outside the 15-25 minute band", c)
+	}
+	// §3.4: parsing under 5%.
+	if p.ParseSec(300) > 0.05*p.CompileSec(300, 2) {
+		t.Error("parsing exceeds 5% of compilation")
+	}
+}
+
+func TestPressureAndSwap(t *testing.T) {
+	p := Default1989()
+	if p.MemoryPressure(p.NodeMemMB-1) != 0 {
+		t.Error("no pressure below the memory size")
+	}
+	pr := p.MemoryPressure(p.NodeMemMB * 1.1)
+	if pr <= 0 {
+		t.Error("pressure above memory must be positive")
+	}
+	if p.SwapCPU(100, pr) <= 0 || p.SwapMB(100, pr) <= 0 {
+		t.Error("swap costs must scale with pressure")
+	}
+	if p.SwapCPU(100, 0) != 0 || p.SwapMB(100, 0) != 0 {
+		t.Error("no pressure, no swap")
+	}
+}
+
+func TestWorkingSetComponents(t *testing.T) {
+	p := Default1989()
+	base := p.WorkingSetMB(0, 0, 0)
+	if base != p.WSBaseMB {
+		t.Errorf("empty working set = %g, want %g", base, p.WSBaseMB)
+	}
+	f := func(lines, ctx uint16, retained float64) bool {
+		if retained < 0 {
+			retained = -retained
+		}
+		ws := p.WorkingSetMB(int(lines), int(ctx), retained)
+		return ws >= base && ws >= retained &&
+			p.WorkingSetMB(int(lines)+1, int(ctx), retained) >= ws
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCSecScalesWithHeap(t *testing.T) {
+	p := Default1989()
+	if p.GCSec(20) <= p.GCSec(10) {
+		t.Error("GC must scale with working set")
+	}
+}

@@ -1,0 +1,260 @@
+// Package des is a deterministic discrete-event simulation engine with
+// goroutine-based processes. The simulated 1989 workstation cluster
+// (internal/simhost) runs on it: simulated processes sleep in virtual time
+// and contend for resources (CPUs, the shared Ethernet, the file server)
+// with FIFO queueing.
+//
+// Determinism: exactly one process runs at a time; the engine hands control
+// to the process woken by the earliest event (ties broken by schedule
+// order) and waits until that process parks again before advancing the
+// clock. Repeated runs produce identical timings.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine drives virtual time.
+type Engine struct {
+	now    float64
+	seq    int
+	events eventHeap
+	parked chan struct{}
+	active int
+}
+
+type event struct {
+	t    float64
+	seq  int
+	wake chan struct{}
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Proc is a simulated process. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	eng  *Engine
+	wake chan struct{}
+}
+
+// Go spawns a simulated process starting at the current virtual time.
+func (e *Engine) Go(fn func(p *Proc)) {
+	p := &Proc{eng: e, wake: make(chan struct{})}
+	e.active++
+	e.scheduleWake(0, p)
+	go func() {
+		<-p.wake // wait to be dispatched
+		fn(p)
+		e.active--
+		e.parked <- struct{}{} // done; hand control back
+	}()
+}
+
+func (e *Engine) scheduleWake(delay float64, p *Proc) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: e.now + delay, seq: e.seq, wake: p.wake})
+}
+
+// Run processes events until none remain. It panics if a process deadlocks
+// (events exhausted while processes are still parked on resources).
+func (e *Engine) Run() {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		ev.wake <- struct{}{} // resume the process...
+		<-e.parked            // ...and wait until it parks again
+	}
+	if e.active > 0 {
+		panic(fmt.Sprintf("des: %d processes still blocked with no pending events (deadlock)", e.active))
+	}
+}
+
+// park gives control back to the engine and waits to be woken.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.wake
+}
+
+// Sleep advances the process by d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	p.eng.scheduleWake(d, p)
+	p.park()
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Resource is a FIFO server with fixed capacity (a CPU, the Ethernet
+// segment, the file server disk). Waiters acquire strictly in request
+// order.
+type Resource struct {
+	eng      *Engine
+	Name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// Busy accumulates capacity-seconds of use for utilization reporting.
+	Busy     float64
+	lastUsed float64
+}
+
+// NewResource creates a resource with the given capacity.
+func (e *Engine) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{eng: e, Name: name, capacity: capacity}
+}
+
+func (r *Resource) account() {
+	r.Busy += float64(r.inUse) * (r.eng.now - r.lastUsed)
+	r.lastUsed = r.eng.now
+}
+
+// Acquire takes one unit, queueing FIFO when the resource is saturated.
+// It returns the time spent waiting.
+func (p *Proc) Acquire(r *Resource) float64 {
+	start := p.Now()
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return 0
+	}
+	r.waiters = append(r.waiters, p)
+	p.park() // Release hands the unit over and wakes us
+	return p.Now() - start
+}
+
+// Release returns one unit and hands it to the longest waiter, if any.
+func (p *Proc) Release(r *Resource) {
+	r.account()
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Ownership transfers directly; inUse stays constant.
+		r.eng.scheduleWake(0, next)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires r, sleeps d, releases, and returns the waiting time.
+func (p *Proc) Use(r *Resource, d float64) float64 {
+	w := p.Acquire(r)
+	p.Sleep(d)
+	p.Release(r)
+	return w
+}
+
+// Utilization returns r's mean busy fraction over [0, now].
+func (r *Resource) Utilization() float64 {
+	if r.eng.now == 0 {
+		return 0
+	}
+	r.account()
+	return r.Busy / (r.eng.now * float64(r.capacity))
+}
+
+// WaitGroup synchronizes simulated processes: a parent waits until n
+// children signal completion.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiting *Proc
+}
+
+// NewWaitGroup returns a wait group expecting count signals.
+func (e *Engine) NewWaitGroup(count int) *WaitGroup {
+	return &WaitGroup{eng: e, count: count}
+}
+
+// Done signals completion of one child.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count == 0 && w.waiting != nil {
+		w.eng.scheduleWake(0, w.waiting)
+		w.waiting = nil
+	}
+}
+
+// Wait parks the calling process until the count reaches zero.
+func (p *Proc) Wait(w *WaitGroup) {
+	if w.count == 0 {
+		return
+	}
+	if w.waiting != nil {
+		panic("des: WaitGroup supports a single waiter")
+	}
+	w.waiting = p
+	p.park()
+}
+
+// Pool hands out numbered stations (workstations) first-come-first-served.
+type Pool struct {
+	eng     *Engine
+	free    []int
+	waiters []*Proc
+	granted map[*Proc]int
+}
+
+// NewPool creates a pool of n stations numbered 0..n-1.
+func (e *Engine) NewPool(n int) *Pool {
+	p := &Pool{eng: e, granted: make(map[*Proc]int)}
+	for i := 0; i < n; i++ {
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+// AcquireStation blocks until a station is free and returns its number and
+// the time spent waiting.
+func (p *Proc) AcquireStation(pool *Pool) (int, float64) {
+	start := p.Now()
+	if len(pool.free) > 0 && len(pool.waiters) == 0 {
+		id := pool.free[0]
+		pool.free = pool.free[1:]
+		return id, 0
+	}
+	pool.waiters = append(pool.waiters, p)
+	p.park()
+	id := pool.granted[p]
+	delete(pool.granted, p)
+	return id, p.Now() - start
+}
+
+// ReleaseStation returns station id to the pool, handing it to the longest
+// waiter if any.
+func (p *Proc) ReleaseStation(pool *Pool, id int) {
+	if len(pool.waiters) > 0 {
+		next := pool.waiters[0]
+		pool.waiters = pool.waiters[1:]
+		pool.granted[next] = id
+		pool.eng.scheduleWake(0, next)
+		return
+	}
+	pool.free = append(pool.free, id)
+}

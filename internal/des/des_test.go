@@ -1,0 +1,215 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSleepOrdering(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	var times []float64
+	e.Go(func(p *Proc) {
+		p.Sleep(10)
+		trace = append(trace, "a")
+		times = append(times, p.Now())
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(5)
+		trace = append(trace, "b")
+		times = append(times, p.Now())
+		p.Sleep(20)
+		trace = append(trace, "c")
+		times = append(times, p.Now())
+	})
+	e.Run()
+	if len(trace) != 3 || trace[0] != "b" || trace[1] != "a" || trace[2] != "c" {
+		t.Fatalf("trace = %v", trace)
+	}
+	want := []float64{5, 10, 25}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %g, want %g", i, times[i], want[i])
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	cpu := e.NewResource("cpu", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Go(func(p *Proc) {
+			p.Use(cpu, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []float64{10, 20, 30}
+	if len(finish) != 3 {
+		t.Fatalf("finish = %v", finish)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %g, want %g (FIFO serialization)", i, finish[i], want[i])
+		}
+	}
+	if u := cpu.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("utilization = %g, want 1", u)
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("r", 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		e.Go(func(p *Proc) {
+			p.Use(r, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	// Two run immediately, two queue: finish at 10,10,20,20.
+	want := []float64{10, 10, 20, 20}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %g, want %g", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestAcquireReportsWait(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("r", 1)
+	var wait2 float64
+	e.Go(func(p *Proc) {
+		p.Use(r, 7)
+	})
+	e.Go(func(p *Proc) {
+		wait2 = p.Acquire(r)
+		p.Sleep(1)
+		p.Release(r)
+	})
+	e.Run()
+	if wait2 != 7 {
+		t.Errorf("second process waited %g, want 7", wait2)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var parentDone float64
+	wg := e.NewWaitGroup(3)
+	for i := 0; i < 3; i++ {
+		d := float64((i + 1) * 10)
+		e.Go(func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Go(func(p *Proc) {
+		p.Wait(wg)
+		parentDone = p.Now()
+	})
+	e.Run()
+	if parentDone != 30 {
+		t.Errorf("parent resumed at %g, want 30", parentDone)
+	}
+}
+
+func TestPoolFCFS(t *testing.T) {
+	e := NewEngine()
+	pool := e.NewPool(2)
+	type rec struct {
+		station int
+		start   float64
+	}
+	var recs []rec
+	for i := 0; i < 4; i++ {
+		e.Go(func(p *Proc) {
+			id, _ := p.AcquireStation(pool)
+			recs = append(recs, rec{id, p.Now()})
+			p.Sleep(10)
+			p.ReleaseStation(pool, id)
+		})
+	}
+	e.Run()
+	if len(recs) != 4 {
+		t.Fatalf("recs = %v", recs)
+	}
+	// First two get stations 0 and 1 at t=0; next two reuse them at t=10.
+	if recs[0].start != 0 || recs[1].start != 0 || recs[2].start != 10 || recs[3].start != 10 {
+		t.Errorf("start times wrong: %v", recs)
+	}
+	if recs[0].station == recs[1].station {
+		t.Errorf("first two processes must get distinct stations: %v", recs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() []float64 {
+		e := NewEngine()
+		r := e.NewResource("r", 1)
+		net := e.NewResource("net", 1)
+		var out []float64
+		for i := 0; i < 5; i++ {
+			d := float64(i%3) + 1
+			e.Go(func(p *Proc) {
+				p.Sleep(d)
+				p.Use(net, 2)
+				p.Use(r, d*2)
+				out = append(out, p.Now())
+			})
+		}
+		e.Run()
+		return out
+	}
+	a := runOnce()
+	for k := 0; k < 10; k++ {
+		b := runOnce()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("run %d differs at %d: %v vs %v", k, i, a, b)
+			}
+		}
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected deadlock panic")
+		}
+	}()
+	e := NewEngine()
+	r := e.NewResource("r", 1)
+	e.Go(func(p *Proc) {
+		p.Acquire(r)
+		p.Acquire(r) // self-deadlock: never released
+		p.Release(r)
+	})
+	e.Run()
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	var childTime float64
+	e.Go(func(p *Proc) {
+		p.Sleep(5)
+		wg := e.NewWaitGroup(1)
+		e.Go(func(c *Proc) {
+			c.Sleep(7)
+			childTime = c.Now()
+			wg.Done()
+		})
+		p.Wait(wg)
+		if p.Now() != 12 {
+			t.Errorf("parent resumed at %g, want 12", p.Now())
+		}
+	})
+	e.Run()
+	if childTime != 12 {
+		t.Errorf("child finished at %g, want 12", childTime)
+	}
+}

@@ -1,0 +1,360 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§4, Figures 3–16 plus the §4.2.2 Katseff comparison). Each Fig* function
+// returns the printed series; cmd/benchfig and bench_test.go call them.
+//
+// All timing comes from the calibrated host simulation (internal/simhost):
+// same workload generator, same cost model, no per-figure tuning. The
+// correctness of the parallel decomposition itself is established
+// separately by the real compiler's tests (internal/core).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/parser"
+	"repro/internal/simhost"
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/wgen"
+)
+
+// Workstations is the pool size of the simulated cluster: the paper's
+// "10-15 machines free in practice" (§3.3); we use 15 so that S_8 plus
+// masters always fit, as in the measurements.
+const Workstations = 15
+
+// Counts is the function-count axis of the synthetic experiments.
+var Counts = []int{1, 2, 4, 8}
+
+// Measurement pairs the simulated sequential and parallel timings of one
+// S_n compilation.
+type Measurement struct {
+	Size   wgen.Size
+	N      int
+	Seq    simhost.SeqTimes
+	Par    simhost.ParTimes
+	NFuncs int
+}
+
+// Speedup returns elapsed-time speedup of parallel over sequential.
+func (m Measurement) Speedup() float64 {
+	return stats.Speedup(m.Seq.Elapsed, m.Par.Elapsed)
+}
+
+// Overheads returns the §4.2.3 decomposition.
+func (m Measurement) Overheads() stats.Overheads {
+	return stats.ComputeOverheads(m.Seq.Elapsed, m.Par.Elapsed, m.Par.ImplOverhead(), m.NFuncs, m.Par.Workers)
+}
+
+// outlineOf parses a generated program and panics on generator bugs (the
+// generator is tested separately; experiments treat it as infallible).
+func outlineOf(src []byte) *parser.Outline {
+	var bag source.DiagBag
+	o := parser.ParseOutline("gen.w2", src, &bag)
+	if o == nil || bag.HasErrors() {
+		panic("experiments: generated workload does not parse: " + bag.String())
+	}
+	return o
+}
+
+// MeasureSn simulates the sequential and parallel compilation of S_n for
+// the given size on the standard cluster.
+func MeasureSn(size wgen.Size, n int, pm costmodel.Params) Measurement {
+	o := outlineOf(wgen.SyntheticProgram(size, n))
+	return Measurement{
+		Size:   size,
+		N:      n,
+		Seq:    simhost.SimulateSequential(o, pm),
+		Par:    simhost.SimulateParallel(o, pm, Workstations, simhost.FCFS),
+		NFuncs: o.NumFunctions(),
+	}
+}
+
+// ExecutionTimesFigure builds the Figure 3/4/5/12/13 table for one size:
+// elapsed and per-processor CPU time, sequential vs parallel, over the
+// number of functions.
+func ExecutionTimesFigure(title string, size wgen.Size, pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  title,
+		XLabel: "#functions",
+		YLabel: "seconds (elapsed total; CPU per processor)",
+	}
+	for _, n := range Counts {
+		m := MeasureSn(size, n, pm)
+		t.AddPoint("seq elapsed", float64(n), m.Seq.Elapsed)
+		t.AddPoint("seq cpu", float64(n), m.Seq.CPU)
+		t.AddPoint("par elapsed", float64(n), m.Par.Elapsed)
+		t.AddPoint("par cpu", float64(n), m.Par.MaxProcCPU)
+	}
+	return t
+}
+
+// Fig03Tiny reproduces Figure 3 (execution times for f_tiny).
+func Fig03Tiny(pm costmodel.Params) *stats.Table {
+	return ExecutionTimesFigure("Figure 3: execution times for f_tiny", wgen.Tiny, pm)
+}
+
+// Fig04Large reproduces Figure 4 (execution times for f_large).
+func Fig04Large(pm costmodel.Params) *stats.Table {
+	return ExecutionTimesFigure("Figure 4: execution times for f_large", wgen.Large, pm)
+}
+
+// Fig05Huge reproduces Figure 5 (execution times for f_huge).
+func Fig05Huge(pm costmodel.Params) *stats.Table {
+	return ExecutionTimesFigure("Figure 5: execution times for f_huge", wgen.Huge, pm)
+}
+
+// Fig12Small reproduces appendix Figure 12 (f_small).
+func Fig12Small(pm costmodel.Params) *stats.Table {
+	return ExecutionTimesFigure("Figure 12: execution times for f_small", wgen.Small, pm)
+}
+
+// Fig13Medium reproduces appendix Figure 13 (f_medium).
+func Fig13Medium(pm costmodel.Params) *stats.Table {
+	return ExecutionTimesFigure("Figure 13: execution times for f_medium", wgen.Medium, pm)
+}
+
+// Fig06Speedup reproduces Figure 6: speedup of parallel over sequential
+// elapsed time for every size, over the number of functions.
+func Fig06Speedup(pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 6: speedup over sequential compiler",
+		XLabel: "#functions",
+		YLabel: "speedup (seq elapsed / par elapsed)",
+	}
+	for _, size := range wgen.Sizes {
+		for _, n := range Counts {
+			m := MeasureSn(size, n, pm)
+			t.AddPoint(size.String(), float64(n), m.Speedup())
+		}
+	}
+	return t
+}
+
+// Fig07SpeedupVsSize reproduces Figure 7: speedup against function size
+// (lines of code), one series per function count.
+func Fig07SpeedupVsSize(pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 7: speedup versus function size",
+		XLabel: "lines of code",
+		YLabel: "speedup",
+	}
+	for _, n := range Counts {
+		for _, size := range wgen.Sizes {
+			m := MeasureSn(size, n, pm)
+			t.AddPoint(fmt.Sprintf("%d function(s)", n), float64(size.Lines()), m.Speedup())
+		}
+	}
+	return t
+}
+
+// OverheadFigure builds the Figure 8/9/10 table for the given sizes:
+// relative total and system overhead as a percentage of parallel elapsed
+// time.
+func OverheadFigure(title string, sizes []wgen.Size, pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  title,
+		XLabel: "#functions",
+		YLabel: "% of parallel elapsed time",
+	}
+	for _, size := range sizes {
+		for _, n := range Counts {
+			m := MeasureSn(size, n, pm)
+			o := m.Overheads()
+			t.AddPoint("rel total ovh "+m.Size.String(), float64(n), o.RelTotal(m.Par.Elapsed))
+			t.AddPoint("rel system ovh "+m.Size.String(), float64(n), o.RelSystem(m.Par.Elapsed))
+		}
+	}
+	return t
+}
+
+// Fig08OverheadSmall reproduces Figure 8 (f_tiny and f_small overheads).
+func Fig08OverheadSmall(pm costmodel.Params) *stats.Table {
+	return OverheadFigure("Figure 8: overheads as percentage of total time for f_tiny and f_small",
+		[]wgen.Size{wgen.Tiny, wgen.Small}, pm)
+}
+
+// Fig09OverheadMedium reproduces Figure 9 (f_medium and f_large overheads,
+// including the negative system overhead at small function counts).
+func Fig09OverheadMedium(pm costmodel.Params) *stats.Table {
+	return OverheadFigure("Figure 9: overheads as percentage of total time for f_medium and f_large",
+		[]wgen.Size{wgen.Medium, wgen.Large}, pm)
+}
+
+// Fig10OverheadHuge reproduces Figure 10 (f_huge overheads).
+func Fig10OverheadHuge(pm costmodel.Params) *stats.Table {
+	return OverheadFigure("Figure 10: overheads as percentage of total time for f_huge",
+		[]wgen.Size{wgen.Huge}, pm)
+}
+
+// AbsOverheadFigure builds the Figure 14/15/16 table: absolute total and
+// system overheads in seconds.
+func AbsOverheadFigure(title string, sizes []wgen.Size, pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  title,
+		XLabel: "#functions",
+		YLabel: "seconds",
+	}
+	for _, size := range sizes {
+		for _, n := range Counts {
+			m := MeasureSn(size, n, pm)
+			o := m.Overheads()
+			t.AddPoint("total ovh "+m.Size.String(), float64(n), o.TotalSec)
+			t.AddPoint("system ovh "+m.Size.String(), float64(n), o.SystemSec)
+		}
+	}
+	return t
+}
+
+// Fig14AbsOverheadSmall reproduces Figure 14 (absolute overheads, f_tiny
+// and f_small).
+func Fig14AbsOverheadSmall(pm costmodel.Params) *stats.Table {
+	return AbsOverheadFigure("Figure 14: absolute overhead for f_tiny and f_small",
+		[]wgen.Size{wgen.Tiny, wgen.Small}, pm)
+}
+
+// Fig15AbsOverheadMedium reproduces Figure 15 (absolute overheads,
+// f_medium and f_large).
+func Fig15AbsOverheadMedium(pm costmodel.Params) *stats.Table {
+	return AbsOverheadFigure("Figure 15: absolute overhead for f_medium and f_large",
+		[]wgen.Size{wgen.Medium, wgen.Large}, pm)
+}
+
+// Fig16AbsOverheadHuge reproduces Figure 16 (absolute overheads, f_huge).
+func Fig16AbsOverheadHuge(pm costmodel.Params) *stats.Table {
+	return AbsOverheadFigure("Figure 16: absolute overhead for f_huge",
+		[]wgen.Size{wgen.Huge}, pm)
+}
+
+// Fig11UserProgram reproduces Figure 11: the §4.3 user program (three
+// sections, nine functions) compiled with the load-balancing heuristic on
+// 2, 3, 5 and 9 processors, plus the naive one-function-per-processor run
+// on 9 processors that anchors the 4.5× headline.
+func Fig11UserProgram(pm costmodel.Params) *stats.Table {
+	o := outlineOf(wgen.UserProgram())
+	seq := simhost.SimulateSequential(o, pm)
+
+	t := &stats.Table{
+		Title:  "Figure 11: speedup for a user program",
+		XLabel: "#processors",
+		YLabel: "speedup over sequential elapsed",
+	}
+	for _, p := range []int{2, 3, 5, 9} {
+		par := simhost.SimulateParallel(o, pm, p, simhost.Grouped)
+		t.AddPoint("grouped (heuristic)", float64(p), stats.Speedup(seq.Elapsed, par.Elapsed))
+	}
+	naive := simhost.SimulateParallel(o, pm, 9, simhost.FCFS)
+	t.AddPoint("one function per processor", 9, stats.Speedup(seq.Elapsed, naive.Elapsed))
+	return t
+}
+
+// KatseffSweep reproduces the §4.2.2 comparison with Katseff's parallel
+// assembler: speedup of a large and a small program over the processor
+// count, showing the plateau past ~8 (large) and ~5 (small) processors.
+func KatseffSweep(pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  "Section 4.2.2: processor sweep (Katseff comparison)",
+		XLabel: "#processors",
+		YLabel: "speedup",
+	}
+	large := outlineOf(wgen.SyntheticProgram(wgen.Large, 8))
+	small := outlineOf(wgen.SyntheticProgram(wgen.Small, 8))
+	seqL := simhost.SimulateSequential(large, pm)
+	seqS := simhost.SimulateSequential(small, pm)
+	for p := 1; p <= 12; p++ {
+		parL := simhost.SimulateParallel(large, pm, p, simhost.FCFS)
+		parS := simhost.SimulateParallel(small, pm, p, simhost.FCFS)
+		t.AddPoint("large program (8 x f_large)", float64(p), stats.Speedup(seqL.Elapsed, parL.Elapsed))
+		t.AddPoint("small program (8 x f_small)", float64(p), stats.Speedup(seqS.Elapsed, parS.Elapsed))
+	}
+	return t
+}
+
+// HeadlineSpeedup reproduces the abstract's claim: "for typical programs in
+// our environment, we observe a speedup ranging from 3 to 6 using not more
+// than 9 processors". The typical mix: medium/large programs of 4-9
+// functions on at most 9 workstations.
+func HeadlineSpeedup(pm costmodel.Params) *stats.Table {
+	t := &stats.Table{
+		Title:  "Headline: speedup for typical programs (<= 9 processors)",
+		XLabel: "#functions",
+		YLabel: "speedup",
+	}
+	for _, size := range []wgen.Size{wgen.Medium, wgen.Large, wgen.Huge} {
+		for _, n := range []int{4, 8} {
+			o := outlineOf(wgen.SyntheticProgram(size, n))
+			seq := simhost.SimulateSequential(o, pm)
+			par := simhost.SimulateParallel(o, pm, 9, simhost.FCFS)
+			t.AddPoint(size.String(), float64(n), stats.Speedup(seq.Elapsed, par.Elapsed))
+		}
+	}
+	o := outlineOf(wgen.UserProgram())
+	seq := simhost.SimulateSequential(o, pm)
+	par := simhost.SimulateParallel(o, pm, 9, simhost.FCFS)
+	t.AddPoint("user program", 9, stats.Speedup(seq.Elapsed, par.Elapsed))
+	return t
+}
+
+// AllFigures returns every reproduced figure in paper order.
+func AllFigures(pm costmodel.Params) []*stats.Table {
+	return []*stats.Table{
+		Fig03Tiny(pm),
+		Fig04Large(pm),
+		Fig05Huge(pm),
+		Fig06Speedup(pm),
+		Fig07SpeedupVsSize(pm),
+		Fig08OverheadSmall(pm),
+		Fig09OverheadMedium(pm),
+		Fig10OverheadHuge(pm),
+		Fig11UserProgram(pm),
+		Fig12Small(pm),
+		Fig13Medium(pm),
+		Fig14AbsOverheadSmall(pm),
+		Fig15AbsOverheadMedium(pm),
+		Fig16AbsOverheadHuge(pm),
+		KatseffSweep(pm),
+		HeadlineSpeedup(pm),
+		PmakeComparison(pm),
+	}
+}
+
+// PmakeComparison reproduces the §3.4 discussion: parallel make exploits
+// module-level parallelism with the sequential compiler; the parallel
+// compiler exploits function-level parallelism within one module; and the
+// two coexist. Workload: six independent 4-function f_medium modules built
+// on the standard cluster.
+func PmakeComparison(pm costmodel.Params) *stats.Table {
+	const modules = 6
+	var outlines []*parser.Outline
+	for i := 0; i < modules; i++ {
+		outlines = append(outlines, outlineOf(wgen.SyntheticProgram(wgen.Medium, 4)))
+	}
+
+	// Baseline: every module compiled sequentially, one after another, on
+	// one workstation.
+	serial := 0.0
+	for _, o := range outlines {
+		serial += simhost.SimulateSequential(o, pm).Elapsed
+	}
+	// Parallel make with the sequential compiler (the paper's [1,3]).
+	pmakeSeq := simhost.SimulateBatch(outlines, pm, Workstations, simhost.BatchSequentialCompiler)
+	// The parallel compiler, modules one after another.
+	parSerial := 0.0
+	for _, o := range outlines {
+		parSerial += simhost.SimulateParallel(o, pm, Workstations, simhost.FCFS).Elapsed
+	}
+	// Coexistence: parallel make over modules, parallel compiler within.
+	coexist := simhost.SimulateBatch(outlines, pm, Workstations, simhost.BatchParallelCompiler)
+
+	t := &stats.Table{
+		Title:  "Section 3.4: parallel make baseline and coexistence",
+		XLabel: "scenario",
+		YLabel: "makespan seconds (6 modules x 4 f_medium functions, 15 workstations)",
+	}
+	t.AddPoint("sequential everything", 1, serial)
+	t.AddPoint("pmake + sequential compiler", 2, pmakeSeq)
+	t.AddPoint("parallel compiler, serial modules", 3, parSerial)
+	t.AddPoint("pmake + parallel compiler", 4, coexist)
+	return t
+}

@@ -1,0 +1,398 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func compile(t *testing.T, src string) (*ast.Module, *sem.Info) {
+	t.Helper()
+	var bag source.DiagBag
+	m := parser.Parse("t.w2", []byte(src), &bag)
+	info := sem.Check(m, &bag)
+	if bag.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", bag.String())
+	}
+	return m, info
+}
+
+func callFn(t *testing.T, src, name string, args ...Value) Value {
+	t.Helper()
+	m, info := compile(t, src)
+	var fn *ast.FuncDecl
+	for _, sec := range m.Sections {
+		for _, f := range sec.Funcs {
+			if f.Name == name {
+				fn = f
+			}
+		}
+	}
+	if fn == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	v, _, err := CallFunction(info, fn, args, Limits{})
+	if err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(a: int, b: int): int {
+        return (a + b) * (a - b) / 2 + a % b;
+    }
+}
+`
+	got := callFn(t, src, "f", IntVal(7), IntVal(3))
+	want := (7+3)*(7-3)/2 + 7%3
+	if got.I != int64(want) {
+		t.Errorf("f(7,3) = %d, want %d", got.I, want)
+	}
+}
+
+func TestFloatMath(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(x: float): float {
+        return sqrt(x * x + 3.0) - abs(-x) + max(x, 2.0) + min(x, 1.0);
+    }
+}
+`
+	x := 2.5
+	got := callFn(t, src, "f", FloatVal(x))
+	want := math.Sqrt(x*x+3.0) - math.Abs(-x) + math.Max(x, 2.0) + math.Min(x, 1.0)
+	if math.Abs(got.F-want) > 1e-12 {
+		t.Errorf("f(%g) = %g, want %g", x, got.F, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function collatzSteps(n: int): int {
+        var steps: int = 0;
+        while n != 1 {
+            if n % 2 == 0 {
+                n = n / 2;
+            } else {
+                n = 3 * n + 1;
+            }
+            steps = steps + 1;
+        }
+        return steps;
+    }
+}
+`
+	got := callFn(t, src, "collatzSteps", IntVal(27))
+	if got.I != 111 {
+		t.Errorf("collatzSteps(27) = %d, want 111", got.I)
+	}
+}
+
+func TestForLoopStepAndBreakContinue(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(): int {
+        var s: int = 0;
+        var i: int;
+        for i = 0 to 20 step 2 {
+            if i == 14 {
+                break;
+            }
+            if i % 3 == 0 {
+                continue;
+            }
+            s = s + i;
+        }
+        return s;
+    }
+}
+`
+	// i: 0(skip) 2 4 6(skip) 8 10 12(skip) 14(break) => 2+4+8+10 = 24
+	got := callFn(t, src, "f")
+	if got.I != 24 {
+		t.Errorf("f() = %d, want 24", got.I)
+	}
+}
+
+func TestNegativeStep(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(): int {
+        var s: int = 0;
+        var i: int;
+        for i = 5 to 1 step -1 {
+            s = s * 10 + i;
+        }
+        return s;
+    }
+}
+`
+	got := callFn(t, src, "f")
+	if got.I != 54321 {
+		t.Errorf("f() = %d, want 54321", got.I)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(n: int): int {
+        var fib: int[30];
+        var i: int;
+        fib[0] = 0;
+        fib[1] = 1;
+        for i = 2 to n {
+            fib[i] = fib[i - 1] + fib[i - 2];
+        }
+        return fib[n];
+    }
+}
+`
+	got := callFn(t, src, "f", IntVal(20))
+	if got.I != 6765 {
+		t.Errorf("fib(20) = %d, want 6765", got.I)
+	}
+}
+
+func TestMultiDimArrayMatMul(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(): float {
+        var a: float[3][3];
+        var b: float[3][3];
+        var c: float[3][3];
+        var i: int; var j: int; var k: int;
+        for i = 0 to 2 {
+            for j = 0 to 2 {
+                a[i][j] = float(i * 3 + j);
+                b[i][j] = float(i * 3 + j + 1);
+                c[i][j] = 0.0;
+            }
+        }
+        for i = 0 to 2 {
+            for j = 0 to 2 {
+                for k = 0 to 2 {
+                    c[i][j] = c[i][j] + a[i][k] * b[k][j];
+                }
+            }
+        }
+        return c[1][2];
+    }
+}
+`
+	// a = [[0..8]] row major, b = a+1; c[1][2] = sum_k a[1][k]*b[k][2]
+	want := 3.0*3.0 + 4.0*6.0 + 5.0*9.0
+	got := callFn(t, src, "f")
+	if got.F != want {
+		t.Errorf("c[1][2] = %g, want %g", got.F, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right of && must not happen when left is false.
+	src := `
+module m
+section 1 {
+    function f(x: int): bool {
+        return x != 0 && 10 / x > 2;
+    }
+    function g(x: int): int {
+        if f(x) {
+            return 1;
+        }
+        return 0;
+    }
+}
+`
+	if got := callFn(t, src, "g", IntVal(0)); got.I != 0 {
+		t.Errorf("g(0) = %d, want 0 (short circuit failed)", got.I)
+	}
+	if got := callFn(t, src, "g", IntVal(3)); got.I != 1 {
+		t.Errorf("g(3) = %d, want 1", got.I)
+	}
+}
+
+func TestFunctionCallsWithinSection(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function square(x: float): float { return x * x; }
+    function norm(a: float, b: float): float { return sqrt(square(a) + square(b)); }
+    function f(): float { return norm(3.0, 4.0); }
+}
+`
+	got := callFn(t, src, "f")
+	if math.Abs(got.F-5.0) > 1e-12 {
+		t.Errorf("norm(3,4) = %g, want 5", got.F)
+	}
+}
+
+func TestRunSectionStreams(t *testing.T) {
+	src := `
+module m (in xs: float[4], out ys: float[4])
+section 1 {
+    function cell() {
+        var i: int;
+        var v: float;
+        for i = 0 to 3 {
+            receive(X, v);
+            send(Y, v * 2.0 + 1.0);
+        }
+    }
+}
+`
+	m, info := compile(t, src)
+	in := []Value{FloatVal(1), FloatVal(2), FloatVal(3), FloatVal(4)}
+	out, err := RunSection(info, m.Sections[0], in, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 7, 9}
+	if len(out) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(out), len(want))
+	}
+	for i, w := range want {
+		if out[i].F != w {
+			t.Errorf("out[%d] = %g, want %g", i, out[i].F, w)
+		}
+	}
+}
+
+func TestRunModulePipeline(t *testing.T) {
+	src := `
+module pipe (in xs: float[3], out ys: float[3])
+section 1 {
+    function cell1() {
+        var i: int;
+        var v: float;
+        for i = 0 to 2 {
+            receive(X, v);
+            send(Y, v + 10.0);
+        }
+    }
+}
+section 2 {
+    function cell2() {
+        var i: int;
+        var v: float;
+        for i = 0 to 2 {
+            receive(X, v);
+            send(Y, v * 3.0);
+        }
+    }
+}
+`
+	m, info := compile(t, src)
+	in := []Value{FloatVal(1), FloatVal(2), FloatVal(3)}
+	out, err := RunModule(m, info, in, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{33, 36, 39}
+	for i, w := range want {
+		if out[i].F != w {
+			t.Errorf("out[%d] = %g, want %g", i, out[i].F, w)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ name, body, wantSub string }{
+		{"div zero", `function f(): int { var z: int = 0; return 1 / z; }`, "division by zero"},
+		{"mod zero", `function f(): int { var z: int = 0; return 1 % z; }`, "modulo by zero"},
+		{"oob", `function f(): int { var a: int[3]; var i: int = 5; return a[i]; }`, "out of range"},
+		{"neg index", `function f(): int { var a: int[3]; var i: int = -1; return a[i]; }`, "out of range"},
+		{"sqrt negative", `function f(): float { return sqrt(-1.0); }`, "negative"},
+		{"empty receive", `function f() { var v: float; receive(X, v); }`, "empty X channel"},
+		{"infinite loop", `function f() { while true { var x: int; x = 1; } }`, "step limit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "module m\nsection 1 {\n" + c.body + "\n}\n"
+			m, info := compile(t, src)
+			fn := m.Sections[0].Funcs[0]
+			_, _, err := CallFunction(info, fn, nil, Limits{MaxSteps: 10000})
+			if err == nil {
+				t.Fatal("expected runtime error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestIntFloatConversions(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(): int {
+        var x: float = 3.9;
+        return int(x) * 10 + int(-x);
+    }
+}
+`
+	// int() truncates toward zero: 3*10 + (-3) = 27
+	got := callFn(t, src, "f")
+	if got.I != 27 {
+		t.Errorf("f() = %d, want 27", got.I)
+	}
+}
+
+func TestReceiveIntoIntConverts(t *testing.T) {
+	src := `
+module m (in xs: float[2], out ys: float[2])
+section 1 {
+    function cell() {
+        var n: int;
+        var i: int;
+        for i = 0 to 1 {
+            receive(X, n);
+            send(Y, n * 2);
+        }
+    }
+}
+`
+	m, info := compile(t, src)
+	out, err := RunSection(info, m.Sections[0], []Value{FloatVal(2.7), FloatVal(3.2)}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].I != 4 || out[1].I != 6 {
+		t.Errorf("got %v, want [4 6]", out)
+	}
+}
+
+func TestZeroInitialization(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(): float {
+        var x: float;
+        var a: float[5];
+        var i: int;
+        return x + a[3] + float(i);
+    }
+}
+`
+	got := callFn(t, src, "f")
+	if got.F != 0 {
+		t.Errorf("uninitialized storage should be zero, got %g", got.F)
+	}
+}

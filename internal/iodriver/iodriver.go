@@ -1,0 +1,117 @@
+// Package iodriver implements the head of compiler phase 4: generation of
+// the host-side I/O driver for a compiled module. The driver describes how
+// the host feeds the module's input streams into the first cell and drains
+// results from the last cell, and performs the word-level encoding (every
+// queue word is an IEEE single, per the compiler's wire protocol).
+package iodriver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/machine"
+)
+
+// StreamSpec describes one module-level stream.
+type StreamSpec struct {
+	Name string
+	Dir  ast.StreamDir
+	// Elems is the declared element count (product of array dimensions; 1
+	// for scalar streams).
+	Elems int
+	// Float reports whether elements are floats (ints are converted on the
+	// wire).
+	Float bool
+}
+
+// Driver is the generated host-side I/O driver.
+type Driver struct {
+	Module string
+	In     []StreamSpec
+	Out    []StreamSpec
+}
+
+// Generate builds the driver from the module's stream declarations.
+func Generate(m *ast.Module) *Driver {
+	d := &Driver{Module: m.Name}
+	for _, sp := range m.Streams {
+		spec := StreamSpec{Name: sp.Name, Dir: sp.Dir, Elems: 1, Float: sp.Type.Name == "float"}
+		for _, dim := range sp.Type.Dims {
+			spec.Elems *= dim
+		}
+		if sp.Dir == ast.StreamIn {
+			d.In = append(d.In, spec)
+		} else {
+			d.Out = append(d.Out, spec)
+		}
+	}
+	return d
+}
+
+// InputElems returns the total declared input length (0 if no input
+// streams were declared).
+func (d *Driver) InputElems() int {
+	n := 0
+	for _, s := range d.In {
+		n += s.Elems
+	}
+	return n
+}
+
+// OutputElems returns the total declared output length.
+func (d *Driver) OutputElems() int {
+	n := 0
+	for _, s := range d.Out {
+		n += s.Elems
+	}
+	return n
+}
+
+// EncodeInput converts host float64 values to wire words.
+func (d *Driver) EncodeInput(vals []float64) []machine.WordVal {
+	out := make([]machine.WordVal, len(vals))
+	for i, v := range vals {
+		out[i] = machine.FloatWord(float32(v))
+	}
+	return out
+}
+
+// DecodeOutput converts wire words back to host float64 values. The wire
+// protocol sends every word as an IEEE single (integers are converted by
+// the cells before sending).
+func (d *Driver) DecodeOutput(words []machine.WordVal) []float64 {
+	out := make([]float64, len(words))
+	for i, w := range words {
+		out[i] = float64(w.Float())
+	}
+	return out
+}
+
+// Source emits the generated host driver program (the phase-4 artifact the
+// real compiler wrote out for the Warp host): a C-flavoured listing that
+// documents stream order, sizes and encoding.
+func (d *Driver) Source() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "/* host I/O driver for module %s -- generated, do not edit */\n", d.Module)
+	fmt.Fprintf(&sb, "void %s_run(float *in, int in_len, float *out, int out_len) {\n", d.Module)
+	sb.WriteString("    /* input streams */\n")
+	for _, s := range d.In {
+		fmt.Fprintf(&sb, "    /*   in  %-12s %6d words (%s) */\n", s.Name, s.Elems, typeName(s))
+	}
+	sb.WriteString("    /* output streams */\n")
+	for _, s := range d.Out {
+		fmt.Fprintf(&sb, "    /*   out %-12s %6d words (%s) */\n", s.Name, s.Elems, typeName(s))
+	}
+	sb.WriteString("    warp_feed(in, in_len);      /* ieee singles onto the X pathway */\n")
+	sb.WriteString("    warp_drain(out, out_len);   /* ieee singles off the Y pathway  */\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func typeName(s StreamSpec) string {
+	if s.Float {
+		return "float"
+	}
+	return "int"
+}

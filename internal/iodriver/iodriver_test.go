@@ -1,0 +1,98 @@
+package iodriver
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+func driverFor(t *testing.T, src string) *Driver {
+	t.Helper()
+	var bag source.DiagBag
+	m := parser.Parse("t.w2", []byte(src), &bag)
+	if bag.HasErrors() {
+		t.Fatal(bag.String())
+	}
+	return Generate(m)
+}
+
+const src = `
+module filter (in xs: float[256], in coeffs: float[16], out ys: float[256])
+section 1 {
+    function cell() {
+        var v: float;
+        receive(X, v);
+        send(Y, v);
+    }
+}
+`
+
+func TestGenerateStreams(t *testing.T) {
+	d := driverFor(t, src)
+	if d.Module != "filter" {
+		t.Errorf("module = %q", d.Module)
+	}
+	if len(d.In) != 2 || len(d.Out) != 1 {
+		t.Fatalf("streams in=%d out=%d", len(d.In), len(d.Out))
+	}
+	if d.InputElems() != 272 || d.OutputElems() != 256 {
+		t.Errorf("elems in=%d out=%d, want 272/256", d.InputElems(), d.OutputElems())
+	}
+	if !d.In[0].Float {
+		t.Error("float stream misclassified")
+	}
+}
+
+func TestIntStreamClassified(t *testing.T) {
+	d := driverFor(t, `
+module m (in ns: int[4], out ys: float)
+section 1 {
+    function cell() { send(Y, 1.0); }
+}
+`)
+	if d.In[0].Float {
+		t.Error("int stream classified as float")
+	}
+	if d.In[0].Elems != 4 || d.Out[0].Elems != 1 {
+		t.Errorf("elems wrong: %+v", d)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := driverFor(t, src)
+	f := func(vals []float64) bool {
+		// Clamp to float32 range to keep the property exact.
+		in := make([]float64, len(vals))
+		for i, v := range vals {
+			in[i] = float64(float32(math.Mod(v, 1e30)))
+		}
+		words := d.EncodeInput(in)
+		out := d.DecodeOutput(words)
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] && !(math.IsNaN(out[i]) && math.IsNaN(in[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceListsStreams(t *testing.T) {
+	d := driverFor(t, src)
+	out := d.Source()
+	for _, want := range []string{"filter_run", "xs", "coeffs", "ys", "256 words", "16 words", "warp_feed", "warp_drain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("driver source missing %q:\n%s", want, out)
+		}
+	}
+}

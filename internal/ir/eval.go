@@ -1,0 +1,317 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// This file implements a direct IR evaluator. It exists purely for testing:
+// optimization passes must not change the observable behaviour of a
+// function, and the evaluator lets tests compare IR semantics before and
+// after each pass, and against the AST reference interpreter.
+
+// EvalValue is a dynamic value in the IR evaluator.
+type EvalValue struct {
+	K types.Kind
+	I int64
+	F float64
+}
+
+// EvalInt and EvalFloat construct evaluator values.
+func EvalInt(v int64) EvalValue     { return EvalValue{K: types.Int, I: v} }
+func EvalFloat(v float64) EvalValue { return EvalValue{K: types.Float, F: v} }
+
+// AsFloat widens to float64.
+func (v EvalValue) AsFloat() float64 {
+	if v.K == types.Float {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// Truthy interprets the value as a boolean word.
+func (v EvalValue) Truthy() bool {
+	if v.K == types.Float {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// EvalEnv supplies the context for evaluating a function.
+type EvalEnv struct {
+	// Funcs resolves Call targets (functions of the same section).
+	Funcs map[string]*Func
+	// In is the X input stream; Out accumulates the Y output stream.
+	In  []EvalValue
+	Out []EvalValue
+	// MaxSteps bounds execution (default 10M).
+	MaxSteps int
+
+	steps int
+}
+
+// EvalFunc runs fn with the given arguments and returns its result (ok
+// reports whether the function returned a value).
+func (env *EvalEnv) EvalFunc(fn *Func, args []EvalValue) (EvalValue, bool, error) {
+	if env.MaxSteps == 0 {
+		env.MaxSteps = 10_000_000
+	}
+	if len(args) != len(fn.Params) {
+		return EvalValue{}, false, fmt.Errorf("%s: got %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	regs := make([]EvalValue, fn.NumVRegs()+1)
+	for i, p := range fn.Params {
+		regs[p] = args[i]
+	}
+	arrays := make(map[string][]EvalValue, len(fn.Arrays))
+	for _, a := range fn.Arrays {
+		elems := make([]EvalValue, a.Words)
+		for i := range elems {
+			elems[i] = EvalValue{K: a.Kind}
+		}
+		arrays[a.Sym] = elems
+	}
+
+	b := fn.Entry()
+	for {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			env.steps++
+			if env.steps > env.MaxSteps {
+				return EvalValue{}, false, fmt.Errorf("%s: step limit exceeded", fn.Name)
+			}
+			next, ret, done, err := env.step(fn, in, regs, arrays)
+			if err != nil {
+				return EvalValue{}, false, err
+			}
+			if done {
+				return ret, in.A != None, nil
+			}
+			if next != nil {
+				b = next
+				break
+			}
+		}
+	}
+}
+
+func (env *EvalEnv) step(fn *Func, in *Instr, regs []EvalValue, arrays map[string][]EvalValue) (next *Block, ret EvalValue, done bool, err error) {
+	get := func(r VReg) EvalValue { return regs[r] }
+	set := func(r VReg, v EvalValue) {
+		if r != None {
+			regs[r] = v
+		}
+	}
+
+	switch in.Op {
+	case Nop:
+	case ConstI:
+		set(in.Dst, EvalValue{K: in.Kind, I: in.ConstI})
+	case ConstF:
+		set(in.Dst, EvalValue{K: types.Float, F: in.ConstF})
+	case Mov:
+		set(in.Dst, get(in.A))
+	case Add, Sub, Mul, Div, Rem, Min, Max:
+		v, e := arith(in.Op, in.Kind, get(in.A), get(in.B))
+		if e != nil {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: %w", fn.Name, e)
+		}
+		set(in.Dst, v)
+	case Neg:
+		x := get(in.A)
+		if in.Kind == types.Float {
+			set(in.Dst, EvalFloat(-x.F))
+		} else {
+			set(in.Dst, EvalValue{K: in.Kind, I: -x.I})
+		}
+	case Abs:
+		x := get(in.A)
+		if in.Kind == types.Float {
+			set(in.Dst, EvalFloat(math.Abs(x.F)))
+		} else {
+			v := x.I
+			if v < 0 {
+				v = -v
+			}
+			set(in.Dst, EvalValue{K: in.Kind, I: v})
+		}
+	case Sqrt:
+		x := get(in.A).AsFloat()
+		if x < 0 {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: sqrt of negative", fn.Name)
+		}
+		set(in.Dst, EvalFloat(math.Sqrt(x)))
+	case Not:
+		x := get(in.A)
+		out := EvalValue{K: types.Bool}
+		if !x.Truthy() {
+			out.I = 1
+		}
+		set(in.Dst, out)
+	case CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE:
+		set(in.Dst, compare(in.Op, in.Kind, get(in.A), get(in.B)))
+	case CvtIF:
+		set(in.Dst, EvalFloat(float64(get(in.A).I)))
+	case CvtFI:
+		set(in.Dst, EvalInt(int64(get(in.A).F)))
+	case Load:
+		arr, ok := arrays[in.Sym]
+		if !ok {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: unknown array %s", fn.Name, in.Sym)
+		}
+		idx := get(in.A).I
+		if idx < 0 || idx >= int64(len(arr)) {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: load index %d out of range [0,%d)", fn.Name, idx, len(arr))
+		}
+		set(in.Dst, arr[idx])
+	case Store:
+		arr, ok := arrays[in.Sym]
+		if !ok {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: unknown array %s", fn.Name, in.Sym)
+		}
+		idx := get(in.A).I
+		if idx < 0 || idx >= int64(len(arr)) {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: store index %d out of range [0,%d)", fn.Name, idx, len(arr))
+		}
+		arr[idx] = get(in.B)
+	case Recv:
+		if len(env.In) == 0 {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: receive on empty channel", fn.Name)
+		}
+		v := env.In[0]
+		env.In = env.In[1:]
+		// Convert the channel word to the receiving kind.
+		if in.Kind == types.Int && v.K == types.Float {
+			v = EvalInt(int64(v.F))
+		} else if in.Kind == types.Float && v.K == types.Int {
+			v = EvalFloat(float64(v.I))
+		}
+		set(in.Dst, v)
+	case Send:
+		env.Out = append(env.Out, get(in.A))
+	case Call:
+		callee, ok := env.Funcs[in.Sym]
+		if !ok {
+			return nil, EvalValue{}, false, fmt.Errorf("%s: call of unknown function %s", fn.Name, in.Sym)
+		}
+		args := make([]EvalValue, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = get(a)
+		}
+		rv, _, err := env.EvalFunc(callee, args)
+		if err != nil {
+			return nil, EvalValue{}, false, err
+		}
+		set(in.Dst, rv)
+	case Ret:
+		if in.A != None {
+			return nil, get(in.A), true, nil
+		}
+		return nil, EvalValue{}, true, nil
+	case Jmp:
+		return in.Then, EvalValue{}, false, nil
+	case CondBr:
+		if get(in.A).Truthy() {
+			return in.Then, EvalValue{}, false, nil
+		}
+		return in.Else, EvalValue{}, false, nil
+	default:
+		return nil, EvalValue{}, false, fmt.Errorf("%s: unknown op %s", fn.Name, in.Op)
+	}
+	return nil, EvalValue{}, false, nil
+}
+
+func arith(op Op, k types.Kind, x, y EvalValue) (EvalValue, error) {
+	if k == types.Float {
+		a, b := x.AsFloat(), y.AsFloat()
+		switch op {
+		case Add:
+			return EvalFloat(a + b), nil
+		case Sub:
+			return EvalFloat(a - b), nil
+		case Mul:
+			return EvalFloat(a * b), nil
+		case Div:
+			return EvalFloat(a / b), nil
+		case Min:
+			return EvalFloat(math.Min(a, b)), nil
+		case Max:
+			return EvalFloat(math.Max(a, b)), nil
+		}
+		return EvalValue{}, fmt.Errorf("bad float op %s", op)
+	}
+	a, b := x.I, y.I
+	switch op {
+	case Add:
+		return EvalValue{K: k, I: a + b}, nil
+	case Sub:
+		return EvalValue{K: k, I: a - b}, nil
+	case Mul:
+		return EvalValue{K: k, I: a * b}, nil
+	case Div:
+		if b == 0 {
+			return EvalValue{}, fmt.Errorf("integer division by zero")
+		}
+		return EvalValue{K: k, I: a / b}, nil
+	case Rem:
+		if b == 0 {
+			return EvalValue{}, fmt.Errorf("integer modulo by zero")
+		}
+		return EvalValue{K: k, I: a % b}, nil
+	case Min:
+		if a < b {
+			return EvalValue{K: k, I: a}, nil
+		}
+		return EvalValue{K: k, I: b}, nil
+	case Max:
+		if a > b {
+			return EvalValue{K: k, I: a}, nil
+		}
+		return EvalValue{K: k, I: b}, nil
+	}
+	return EvalValue{}, fmt.Errorf("bad int op %s", op)
+}
+
+func compare(op Op, k types.Kind, x, y EvalValue) EvalValue {
+	var r bool
+	if k == types.Float {
+		a, b := x.AsFloat(), y.AsFloat()
+		switch op {
+		case CmpEQ:
+			r = a == b
+		case CmpNE:
+			r = a != b
+		case CmpLT:
+			r = a < b
+		case CmpLE:
+			r = a <= b
+		case CmpGT:
+			r = a > b
+		case CmpGE:
+			r = a >= b
+		}
+	} else {
+		a, b := x.I, y.I
+		switch op {
+		case CmpEQ:
+			r = a == b
+		case CmpNE:
+			r = a != b
+		case CmpLT:
+			r = a < b
+		case CmpLE:
+			r = a <= b
+		case CmpGT:
+			r = a > b
+		case CmpGE:
+			r = a >= b
+		}
+	}
+	out := EvalValue{K: types.Bool}
+	if r {
+		out.I = 1
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// InlineCalls replaces every Call in f with the body of the callee, looked
+// up in funcs. Because the language permits calls only to previously
+// declared functions of the same section (no recursion), repeated inlining
+// terminates; callers should inline functions in declaration order so each
+// callee is already call-free.
+//
+// The paper's discussion (§5.1) singles out procedure inlining as the
+// optimization that both improves cell code quality and enlarges functions,
+// which in turn improves the parallel compiler's speedup. Inlining here also
+// leaves phase 3 with straight call-free flowgraphs to schedule.
+func InlineCalls(f *Func, funcs map[string]*Func) error {
+	for rounds := 0; ; rounds++ {
+		if rounds > 64 {
+			return fmt.Errorf("%s: inlining did not terminate (recursion?)", f.Name)
+		}
+		site := findCall(f)
+		if site == nil {
+			f.RemoveUnreachable()
+			return f.Validate()
+		}
+		callee, ok := funcs[site.instr.Sym]
+		if !ok {
+			return fmt.Errorf("%s: call of unknown function %s", f.Name, site.instr.Sym)
+		}
+		if callee == f {
+			return fmt.Errorf("%s: self call cannot be inlined", f.Name)
+		}
+		inlineOne(f, site, callee)
+	}
+}
+
+type callSite struct {
+	block *Block
+	index int
+	instr *Instr
+}
+
+func findCall(f *Func) *callSite {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == Call {
+				return &callSite{block: b, index: i, instr: &b.Instrs[i]}
+			}
+		}
+	}
+	return nil
+}
+
+// inlineOne splices a copy of callee into f at the call site.
+func inlineOne(f *Func, site *callSite, callee *Func) {
+	// Map callee vregs into fresh caller vregs.
+	regMap := make([]VReg, callee.NumVRegs()+1)
+	for v := 1; v <= callee.NumVRegs(); v++ {
+		regMap[v] = f.NewVReg(callee.KindOf(VReg(v)))
+	}
+	remap := func(r VReg) VReg {
+		if r == None {
+			return None
+		}
+		return regMap[r]
+	}
+
+	// Rename callee arrays uniquely within the caller.
+	arrMap := make(map[string]string, len(callee.Arrays))
+	for _, a := range callee.Arrays {
+		sym := fmt.Sprintf("%s.%s.%d", callee.Name, a.Sym, len(f.Arrays))
+		arrMap[a.Sym] = sym
+		f.Arrays = append(f.Arrays, ArrayVar{Sym: sym, Words: a.Words, Kind: a.Kind})
+	}
+
+	// Copy callee blocks.
+	blockMap := make(map[*Block]*Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		blockMap[cb] = f.NewBlock()
+	}
+	// The continuation receives everything after the call.
+	cont := f.NewBlock()
+	cont.Instrs = append(cont.Instrs, site.block.Instrs[site.index+1:]...)
+
+	call := *site.instr // copy before truncation invalidates the pointer
+
+	for _, cb := range callee.Blocks {
+		nb := blockMap[cb]
+		for i := range cb.Instrs {
+			in := cb.Instrs[i] // copy
+			in.Dst = remap(in.Dst)
+			in.A = remap(in.A)
+			in.B = remap(in.B)
+			if len(in.Args) > 0 {
+				args := make([]VReg, len(in.Args))
+				for k, a := range in.Args {
+					args[k] = remap(a)
+				}
+				in.Args = args
+			}
+			if in.Then != nil {
+				in.Then = blockMap[in.Then]
+			}
+			if in.Else != nil {
+				in.Else = blockMap[in.Else]
+			}
+			if in.Op == Load || in.Op == Store {
+				in.Sym = arrMap[in.Sym]
+			}
+			if in.Op == Ret {
+				// Return becomes: move result into the call's destination,
+				// then jump to the continuation.
+				if call.Dst != None && in.A != None {
+					nb.Instrs = append(nb.Instrs, Instr{Op: Mov, Kind: call.Kind, Dst: call.Dst, A: in.A})
+				}
+				in = Instr{Op: Jmp, Then: cont}
+			}
+			nb.Instrs = append(nb.Instrs, in)
+		}
+	}
+
+	// Rewrite the call site: argument moves, then jump into the callee copy.
+	site.block.Instrs = site.block.Instrs[:site.index]
+	for i, p := range callee.Params {
+		site.block.Instrs = append(site.block.Instrs, Instr{
+			Op: Mov, Kind: callee.KindOf(p), Dst: remap(p), A: call.Args[i],
+		})
+	}
+	site.block.Instrs = append(site.block.Instrs, Instr{Op: Jmp, Then: blockMap[callee.Entry()]})
+
+	f.RecomputeEdges()
+}
+
+// HasCalls reports whether f still contains Call instructions.
+func HasCalls(f *Func) bool { return findCall(f) != nil }
+
+// KindOfResult is a helper for tests: the declared result kind.
+func (f *Func) KindOfResult() types.Kind { return f.ResultKind }

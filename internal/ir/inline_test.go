@@ -1,0 +1,158 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInlineSimpleCall(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function double(x: int): int {
+    return x * 2;
+}
+function f(a: int): int {
+    return double(a) + double(a + 1);
+}
+`))
+	f := funcs["f"]
+	if !HasCalls(f) {
+		t.Fatal("expected calls before inlining")
+	}
+	if err := InlineCalls(f, funcs); err != nil {
+		t.Fatal(err)
+	}
+	if HasCalls(f) {
+		t.Fatalf("calls remain after inlining:\n%s", f)
+	}
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(f, []EvalValue{EvalInt(10)})
+	if err != nil || v.I != 20+22 {
+		t.Errorf("f(10) = %d (%v), want 42", v.I, err)
+	}
+}
+
+func TestInlineTransitive(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function inc(x: int): int { return x + 1; }
+function inc2(x: int): int { return inc(inc(x)); }
+function f(a: int): int { return inc2(inc2(a)); }
+`))
+	// Inline in declaration order, as the compiler driver does.
+	for _, name := range []string{"inc", "inc2", "f"} {
+		if err := InlineCalls(funcs[name], funcs); err != nil {
+			t.Fatalf("inline %s: %v", name, err)
+		}
+	}
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(funcs["f"], []EvalValue{EvalInt(0)})
+	if err != nil || v.I != 4 {
+		t.Errorf("f(0) = %d (%v), want 4", v.I, err)
+	}
+}
+
+func TestInlineWithArraysAndLoops(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function sumTo(n: int): int {
+    var acc: int[1];
+    var i: int;
+    acc[0] = 0;
+    for i = 1 to n {
+        acc[0] = acc[0] + i;
+    }
+    return acc[0];
+}
+function f(a: int): int {
+    return sumTo(a) * 100 + sumTo(a / 2);
+}
+`))
+	f := funcs["f"]
+	if err := InlineCalls(f, funcs); err != nil {
+		t.Fatal(err)
+	}
+	// The two inlined copies must have distinct array symbols.
+	syms := map[string]bool{}
+	for _, a := range f.Arrays {
+		if syms[a.Sym] {
+			t.Errorf("duplicate array symbol %s after inlining", a.Sym)
+		}
+		syms[a.Sym] = true
+	}
+	if len(f.Arrays) != 2 {
+		t.Errorf("expected 2 inlined array copies, got %d", len(f.Arrays))
+	}
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(f, []EvalValue{EvalInt(8)})
+	want := int64(36*100 + 10)
+	if err != nil || v.I != want {
+		t.Errorf("f(8) = %d (%v), want %d", v.I, err, want)
+	}
+}
+
+func TestInlineVoidCallWithSends(t *testing.T) {
+	funcs := lowerSection(t, `
+module m (out ys: float[3])
+section 1 {
+    function emit(v: float) {
+        send(Y, v);
+        send(Y, v * 2.0);
+    }
+    function cell() {
+        emit(1.5);
+        send(Y, 10.0);
+    }
+}
+`)
+	f := funcs["cell"]
+	if err := InlineCalls(f, funcs); err != nil {
+		t.Fatal(err)
+	}
+	env := &EvalEnv{Funcs: funcs}
+	if _, _, err := env.EvalFunc(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.0, 10.0}
+	if len(env.Out) != 3 {
+		t.Fatalf("got %d sends, want 3", len(env.Out))
+	}
+	for i, w := range want {
+		if math.Abs(env.Out[i].AsFloat()-w) > 1e-12 {
+			t.Errorf("out[%d] = %g, want %g", i, env.Out[i].AsFloat(), w)
+		}
+	}
+}
+
+func TestInlineDeepCallInsideLoop(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function g(x: float): float {
+    if x < 0.0 {
+        return -x;
+    }
+    return x * 1.5;
+}
+function f(n: int): float {
+    var s: float = 0.0;
+    var i: int;
+    for i = 0 to n {
+        s = s + g(float(i) - 2.0);
+    }
+    return s;
+}
+`))
+	// Reference result before inlining.
+	ref := &EvalEnv{Funcs: funcs}
+	want, _, err := ref.EvalFunc(funcs["f"], []EvalValue{EvalInt(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InlineCalls(funcs["f"], funcs); err != nil {
+		t.Fatal(err)
+	}
+	env := &EvalEnv{Funcs: funcs}
+	got, _, err := env.EvalFunc(funcs["f"], []EvalValue{EvalInt(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.F-want.F) > 1e-12 {
+		t.Errorf("inlining changed result: %g != %g", got.F, want.F)
+	}
+}

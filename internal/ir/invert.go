@@ -1,0 +1,156 @@
+package ir
+
+// InvertLoops converts while-shaped loops into do-while shape (loop
+// inversion): the header's condition computation is duplicated into the
+// preheader and into the latch, so that after straight-line merging the
+// whole body of an innermost loop becomes a single block ending in a
+// conditional branch back to itself. The software pipeliner (phase 3) only
+// handles such self-loop blocks.
+//
+// A loop is inverted when its header consists solely of pure computations
+// feeding a CondBr, so duplication cannot change observable behaviour.
+// Because the IR is not SSA, the duplicated instructions redefine the same
+// virtual registers, which keeps the transformation a pure copy.
+func InvertLoops(f *Func) int {
+	n := 0
+	for {
+		inverted := false
+		for _, loop := range NaturalLoops(f) {
+			if invertOne(f, loop) {
+				n++
+				inverted = true
+				break // CFG changed; recompute loops
+			}
+		}
+		if !inverted {
+			return n
+		}
+	}
+}
+
+func invertOne(f *Func, loop *Loop) bool {
+	h := loop.Head
+	term := h.Term()
+	if term == nil || term.Op != CondBr {
+		return false
+	}
+	// Header must be pure except for its terminator.
+	for i := 0; i < len(h.Instrs)-1; i++ {
+		if h.Instrs[i].Op.HasSideEffects() {
+			return false
+		}
+	}
+	// Identify the in-loop successor and the exit successor.
+	var exit *Block
+	thenIn := loop.Contains(term.Then)
+	elseIn := loop.Contains(term.Else)
+	if thenIn == elseIn {
+		return false // both in or both out: not a simple loop exit
+	}
+	if thenIn {
+		exit = term.Else
+	} else {
+		exit = term.Then
+	}
+	if exit == h {
+		return false
+	}
+	// Already inverted? A self-loop or a latch that conditionally re-enters
+	// needs no work; detect the canonical do-while shape: the header has an
+	// in-loop predecessor whose terminator is this very conditional test.
+	// We instead check for the while shape: at least one in-loop predecessor
+	// jumps unconditionally to the header.
+	var latches []*Block
+	var preheaders []*Block
+	for _, p := range h.Preds {
+		if loop.Contains(p) {
+			latches = append(latches, p)
+		} else {
+			preheaders = append(preheaders, p)
+		}
+	}
+	if len(latches) == 0 || len(preheaders) == 0 {
+		return false
+	}
+	for _, l := range latches {
+		t := l.Term()
+		if t == nil || t.Op != Jmp || t.Then != h {
+			return false // only invert simple unconditional latches
+		}
+	}
+	for _, p := range preheaders {
+		t := p.Term()
+		if t == nil {
+			return false
+		}
+	}
+
+	// Build the replacement: copy header computations + test into every
+	// latch and every preheader edge. The header keeps only a jump to the
+	// body (it becomes part of the body after merging).
+	headerBody := make([]Instr, len(h.Instrs)-1)
+	copy(headerBody, h.Instrs[:len(h.Instrs)-1])
+	test := *term
+
+	inBody := test.Then
+	if !thenIn {
+		inBody = test.Else
+	}
+
+	appendTest := func(b *Block, replaceTerm bool) {
+		if replaceTerm {
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		}
+		b.Instrs = append(b.Instrs, headerBody...)
+		t := test // copy
+		b.Instrs = append(b.Instrs, t)
+	}
+
+	for _, l := range latches {
+		appendTest(l, true)
+	}
+	for _, p := range preheaders {
+		t := p.Term()
+		switch t.Op {
+		case Jmp:
+			if t.Then == h {
+				appendTest(p, true)
+			}
+		case CondBr:
+			// Cannot splice into a conditional edge directly; create a
+			// trampoline block holding the duplicated test.
+			tramp := f.NewBlock()
+			appendTest(tramp, false)
+			if t.Then == h {
+				t.Then = tramp
+			}
+			if t.Else == h {
+				t.Else = tramp
+			}
+		}
+	}
+
+	// The old header reduces to a direct jump into the body; it is now only
+	// reachable if some edge was missed, and normally gets merged or removed.
+	h.Instrs = []Instr{{Op: Jmp, Then: inBody}}
+
+	f.RecomputeEdges()
+	f.RemoveUnreachable()
+	return true
+}
+
+// SelfLoop reports whether b is a single-block loop: its terminator is a
+// CondBr with one target being b itself, and returns the exit block.
+func SelfLoop(b *Block) (exit *Block, ok bool) {
+	t := b.Term()
+	if t == nil || t.Op != CondBr {
+		return nil, false
+	}
+	if t.Then == b && t.Else != b {
+		return t.Else, true
+	}
+	if t.Else == b && t.Then != b {
+		return t.Then, true
+	}
+	return nil, false
+}

@@ -1,0 +1,194 @@
+package ir
+
+import "testing"
+
+// optimizeLike mimics the phase-2 cleanup the compiler driver runs after
+// inversion: merge straight-line chains so self-loops become visible.
+// The opt package owns the real passes; this local copy avoids an import
+// cycle (opt imports ir).
+func mergeStraightLine(f *Func) {
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != Jmp {
+				continue
+			}
+			s := t.Then
+			if s == b || len(s.Preds) != 1 || s == f.Entry() {
+				continue
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], s.Instrs...)
+			s.Instrs = nil
+			changed = true
+			f.RecomputeEdges()
+			f.RemoveUnreachable()
+			break
+		}
+	}
+}
+
+func TestInvertLoopsCreatesSelfLoop(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(n: int): int {
+    var s: int = 0;
+    var i: int;
+    for i = 0 to n {
+        s = s + i;
+    }
+    return s;
+}
+`))
+	f := funcs["f"]
+	if n := InvertLoops(f); n == 0 {
+		t.Fatal("expected at least one inversion")
+	}
+	mergeStraightLine(f)
+	var self *Block
+	for _, b := range f.Blocks {
+		if _, ok := SelfLoop(b); ok {
+			self = b
+		}
+	}
+	if self == nil {
+		t.Fatalf("no self-loop block after inversion+merge:\n%s", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := &EvalEnv{Funcs: funcs}
+	for _, n := range []int64{-3, 0, 1, 10} {
+		v, _, err := env.EvalFunc(f, []EvalValue{EvalInt(n)})
+		if err != nil {
+			t.Fatalf("f(%d): %v", n, err)
+		}
+		want := int64(0)
+		for i := int64(0); i <= n; i++ {
+			want += i
+		}
+		if v.I != want {
+			t.Errorf("f(%d) = %d, want %d", n, v.I, want)
+		}
+	}
+}
+
+func TestInvertZeroTripLoopStillSkips(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(): int {
+    var s: int = 7;
+    var i: int;
+    for i = 10 to 5 {
+        s = 999;
+    }
+    return s;
+}
+`))
+	f := funcs["f"]
+	InvertLoops(f)
+	mergeStraightLine(f)
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(f, nil)
+	if err != nil || v.I != 7 {
+		t.Errorf("zero-trip loop executed its body: got %d (%v), want 7", v.I, err)
+	}
+}
+
+func TestInvertNestedLoops(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(n: int): int {
+    var s: int = 0;
+    var i: int; var j: int;
+    for i = 1 to n {
+        for j = 1 to i {
+            s = s + j;
+        }
+    }
+    return s;
+}
+`))
+	f := funcs["f"]
+	InvertLoops(f)
+	mergeStraightLine(f)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(f, []EvalValue{EvalInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(1); i <= 5; i++ {
+		for j := int64(1); j <= i; j++ {
+			want += j
+		}
+	}
+	if v.I != want {
+		t.Errorf("f(5) = %d, want %d", v.I, want)
+	}
+}
+
+func TestInvertWhileLoop(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(n: int): int {
+    var c: int = 0;
+    while n > 1 {
+        if n % 2 == 0 {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        c = c + 1;
+    }
+    return c;
+}
+`))
+	f := funcs["f"]
+	InvertLoops(f)
+	mergeStraightLine(f)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(f, []EvalValue{EvalInt(27)})
+	if err != nil || v.I != 111 {
+		t.Errorf("collatz(27) = %d (%v), want 111", v.I, err)
+	}
+	// Zero-trip while.
+	v2, _, err := env.EvalFunc(f, []EvalValue{EvalInt(1)})
+	if err != nil || v2.I != 0 {
+		t.Errorf("collatz(1) = %d (%v), want 0", v2.I, err)
+	}
+}
+
+func TestInvertStreamLoopPreservesIO(t *testing.T) {
+	funcs := lowerSection(t, `
+module m (in xs: float[4], out ys: float[4])
+section 1 {
+    function cell() {
+        var i: int;
+        var v: float;
+        for i = 0 to 3 {
+            receive(X, v);
+            send(Y, v + 1.0);
+        }
+    }
+}
+`)
+	f := funcs["cell"]
+	InvertLoops(f)
+	mergeStraightLine(f)
+	in := []EvalValue{EvalFloat(1), EvalFloat(2), EvalFloat(3), EvalFloat(4)}
+	env := &EvalEnv{Funcs: funcs, In: in}
+	if _, _, err := env.EvalFunc(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Out) != 4 {
+		t.Fatalf("got %d outputs, want 4", len(env.Out))
+	}
+	for i, w := range []float64{2, 3, 4, 5} {
+		if env.Out[i].AsFloat() != w {
+			t.Errorf("out[%d] = %g, want %g", i, env.Out[i].AsFloat(), w)
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package ir
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// front parses and checks a module.
+func front(t *testing.T, src string) (*ast.Module, *sem.Info) {
+	t.Helper()
+	var bag source.DiagBag
+	m := parser.Parse("t.w2", []byte(src), &bag)
+	info := sem.Check(m, &bag)
+	if bag.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", bag.String())
+	}
+	return m, info
+}
+
+// lowerSection lowers all functions of the first section and returns them
+// keyed by name.
+func lowerSection(t *testing.T, src string) map[string]*Func {
+	t.Helper()
+	m, info := front(t, src)
+	out := make(map[string]*Func)
+	for _, fn := range m.Sections[0].Funcs {
+		f, err := Lower(fn, info)
+		if err != nil {
+			t.Fatalf("lower %s: %v", fn.Name, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("invalid IR for %s: %v", fn.Name, err)
+		}
+		out[fn.Name] = f
+	}
+	return out
+}
+
+func sec(body string) string { return "module m\nsection 1 {\n" + body + "\n}\n" }
+
+func TestLowerStraightLine(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(a: int, b: int): int {
+    return (a + b) * (a - b);
+}
+`))
+	f := funcs["f"]
+	if len(f.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(f.Params))
+	}
+	env := &EvalEnv{Funcs: funcs}
+	v, ok, err := env.EvalFunc(f, []EvalValue{EvalInt(7), EvalInt(3)})
+	if err != nil || !ok {
+		t.Fatalf("eval: %v ok=%v", err, ok)
+	}
+	if v.I != 40 {
+		t.Errorf("f(7,3) = %d, want 40", v.I)
+	}
+}
+
+func TestLowerControlFlowShapes(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(n: int): int {
+    var s: int = 0;
+    var i: int;
+    for i = 0 to n {
+        if i % 2 == 0 {
+            s = s + i;
+        } else {
+            s = s - 1;
+        }
+    }
+    while s > 100 {
+        s = s - 10;
+    }
+    return s;
+}
+`))
+	f := funcs["f"]
+	if len(f.Blocks) < 8 {
+		t.Errorf("expected a rich CFG, got %d blocks", len(f.Blocks))
+	}
+	// Evaluate against the obvious Go model.
+	model := func(n int64) int64 {
+		s := int64(0)
+		for i := int64(0); i <= n; i++ {
+			if i%2 == 0 {
+				s += i
+			} else {
+				s--
+			}
+		}
+		for s > 100 {
+			s -= 10
+		}
+		return s
+	}
+	env := &EvalEnv{Funcs: funcs}
+	for _, n := range []int64{0, 1, 5, 30, 101} {
+		v, _, err := env.EvalFunc(f, []EvalValue{EvalInt(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if v.I != model(n) {
+			t.Errorf("f(%d) = %d, want %d", n, v.I, model(n))
+		}
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(x: int): int {
+    if x != 0 && 100 / x > 10 {
+        return 1;
+    }
+    if x == 0 || 100 / x < 0 {
+        return 2;
+    }
+    return 3;
+}
+`))
+	env := &EvalEnv{Funcs: funcs}
+	cases := map[int64]int64{0: 2, 5: 1, 50: 3, -5: 2}
+	for x, want := range cases {
+		v, _, err := env.EvalFunc(funcs["f"], []EvalValue{EvalInt(x)})
+		if err != nil {
+			t.Fatalf("f(%d): %v (short-circuit lowering must avoid division by zero)", x, err)
+		}
+		if v.I != want {
+			t.Errorf("f(%d) = %d, want %d", x, v.I, want)
+		}
+	}
+}
+
+func TestLowerArraysAndCalls(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function weight(i: int): float {
+    return float(i) * 0.5 + 1.0;
+}
+function f(n: int): float {
+    var w: float[16];
+    var i: int;
+    var s: float = 0.0;
+    for i = 0 to n - 1 {
+        w[i] = weight(i);
+    }
+    for i = 0 to n - 1 {
+        s = s + w[i];
+    }
+    return s;
+}
+`))
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(funcs["f"], []EvalValue{EvalInt(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < 8; i++ {
+		want += float64(i)*0.5 + 1.0
+	}
+	if math.Abs(v.F-want) > 1e-12 {
+		t.Errorf("f(8) = %g, want %g", v.F, want)
+	}
+}
+
+func TestLowerMultiDimIndexing(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(): int {
+    var g: int[4][5];
+    var i: int; var j: int;
+    for i = 0 to 3 {
+        for j = 0 to 4 {
+            g[i][j] = i * 10 + j;
+        }
+    }
+    return g[2][3] * 100 + g[3][4];
+}
+`))
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(funcs["f"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 23*100+34 {
+		t.Errorf("got %d, want %d", v.I, 23*100+34)
+	}
+}
+
+func TestLowerStreams(t *testing.T) {
+	funcs := lowerSection(t, `
+module m (in xs: float[4], out ys: float[4])
+section 1 {
+    function cell() {
+        var i: int;
+        var v: float;
+        for i = 0 to 3 {
+            receive(X, v);
+            send(Y, v * v);
+        }
+    }
+}
+`)
+	env := &EvalEnv{
+		Funcs: funcs,
+		In:    []EvalValue{EvalFloat(1), EvalFloat(2), EvalFloat(3), EvalFloat(4)},
+	}
+	_, _, err := env.EvalFunc(funcs["cell"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 9, 16}
+	if len(env.Out) != 4 {
+		t.Fatalf("got %d outputs, want 4", len(env.Out))
+	}
+	for i, w := range want {
+		if env.Out[i].F != w {
+			t.Errorf("out[%d] = %g, want %g", i, env.Out[i].F, w)
+		}
+	}
+}
+
+func TestLowerNegativeAndRuntimeSteps(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function down(): int {
+    var s: int = 0;
+    var i: int;
+    for i = 5 to 1 step -1 {
+        s = s * 10 + i;
+    }
+    return s;
+}
+function dyn(st: int): int {
+    var s: int = 0;
+    var i: int;
+    for i = 0 to 10 step st {
+        s = s + i;
+    }
+    return s;
+}
+`))
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(funcs["down"], nil)
+	if err != nil || v.I != 54321 {
+		t.Errorf("down() = %d (%v), want 54321", v.I, err)
+	}
+	v2, _, err := env.EvalFunc(funcs["dyn"], []EvalValue{EvalInt(3)})
+	if err != nil || v2.I != 0+3+6+9 {
+		t.Errorf("dyn(3) = %d (%v), want 18", v2.I, err)
+	}
+	// Negative runtime step with lo > hi runs downward.
+	v3, _, err := env.EvalFunc(funcs["dyn"], []EvalValue{EvalInt(-4)})
+	if err != nil || v3.I != 0 {
+		t.Errorf("dyn(-4) = %d (%v), want 0 (0 to 10 downward exits immediately... runs once at i=0)", v3.I, err)
+	}
+}
+
+func TestLoopBoundCapturedOnce(t *testing.T) {
+	// Mutating the variable used as the bound inside the body must not
+	// change the trip count.
+	funcs := lowerSection(t, sec(`
+function f(): int {
+    var n: int = 5;
+    var c: int = 0;
+    var i: int;
+    for i = 1 to n {
+        n = 100;
+        c = c + 1;
+    }
+    return c;
+}
+`))
+	env := &EvalEnv{Funcs: funcs}
+	v, _, err := env.EvalFunc(funcs["f"], nil)
+	if err != nil || v.I != 5 {
+		t.Errorf("f() = %d (%v), want 5", v.I, err)
+	}
+}
+
+func TestDominatorsAndLoops(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(n: int): int {
+    var s: int = 0;
+    var i: int; var j: int;
+    for i = 0 to n {
+        for j = 0 to n {
+            s = s + 1;
+        }
+    }
+    while s > 10 {
+        s = s - 3;
+    }
+    return s;
+}
+`))
+	f := funcs["f"]
+	idom := Dominators(f)
+	if idom[f.Entry()] != f.Entry() {
+		t.Error("entry must dominate itself")
+	}
+	for _, b := range f.Blocks {
+		if b != f.Entry() && !Dominates(idom, f.Entry(), b) {
+			t.Errorf("entry must dominate b%d", b.ID)
+		}
+	}
+	loops := NaturalLoops(f)
+	if len(loops) != 3 {
+		t.Fatalf("found %d loops, want 3", len(loops))
+	}
+	var inner, outer, while *Loop
+	for _, l := range loops {
+		switch l.Depth {
+		case 2:
+			inner = l
+		case 1:
+			if outer == nil || l.NumBlocks() > outer.NumBlocks() {
+				if outer != nil {
+					while = outer
+				}
+				if while == nil || l.NumBlocks() > while.NumBlocks() {
+					outer = l
+				}
+			} else {
+				while = l
+			}
+		}
+	}
+	if inner == nil {
+		t.Fatal("no depth-2 loop found")
+	}
+	if !inner.Inner {
+		t.Error("depth-2 loop must be innermost")
+	}
+	if outer == nil || outer.Inner {
+		t.Error("outer for loop must not be marked inner")
+	}
+	_ = while
+	// The inner loop's blocks must all be inside the outer loop.
+	for b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Errorf("inner loop block b%d not contained in outer loop", b.ID)
+		}
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(x: int): int {
+    if x > 0 {
+        return 1;
+    }
+    return 0;
+}
+`))
+	f := funcs["f"]
+	rpo := ReversePostorder(f)
+	if rpo[0] != f.Entry() {
+		t.Error("RPO must start at the entry")
+	}
+	pos := make(map[*Block]int)
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	// In an acyclic CFG every edge must go forward in RPO.
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if pos[s] <= pos[b] {
+				t.Errorf("edge b%d->b%d not forward in RPO of acyclic CFG", b.ID, s.ID)
+			}
+		}
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(): int {
+    return 1;
+    return 2;
+}
+`))
+	f := funcs["f"]
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ConstI && in.ConstI == 2 {
+				t.Error("unreachable code not removed")
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBrokenIR(t *testing.T) {
+	f := NewFunc("broken", 1)
+	if err := f.Validate(); err == nil {
+		t.Error("empty entry block must fail validation")
+	}
+	f.Entry().Instrs = append(f.Entry().Instrs, Instr{Op: Ret})
+	if err := f.Validate(); err != nil {
+		t.Errorf("minimal function should validate: %v", err)
+	}
+	// Terminator mid-block.
+	f2 := NewFunc("midterm", 1)
+	f2.Entry().Instrs = append(f2.Entry().Instrs,
+		Instr{Op: Ret},
+		Instr{Op: ConstI, Dst: f2.NewVReg(types.Int)})
+	if err := f2.Validate(); err == nil {
+		t.Error("mid-block terminator must fail validation")
+	}
+	// Unallocated vreg.
+	f3 := NewFunc("badreg", 1)
+	f3.Entry().Instrs = append(f3.Entry().Instrs,
+		Instr{Op: Mov, Dst: 99, A: 98},
+		Instr{Op: Ret})
+	if err := f3.Validate(); err == nil {
+		t.Error("unallocated vreg must fail validation")
+	}
+}
+
+// TestDifferentialLowering runs a battery of functions through both the AST
+// interpreter and the IR evaluator and requires identical results.
+func TestDifferentialLowering(t *testing.T) {
+	src := `
+module diff
+section 1 {
+    function poly(x: float): float {
+        return ((x * 2.0 + 1.0) * x - 3.5) * x + 0.25;
+    }
+    function gcd(a: int, b: int): int {
+        while b != 0 {
+            var tmp: int = b;
+            b = a % b;
+            a = tmp;
+        }
+        return a;
+    }
+    function classify(x: float): int {
+        if x < -1.0 {
+            return -1;
+        } else if x > 1.0 {
+            return 1;
+        } else {
+            return 0;
+        }
+    }
+    function sumsq(n: int): int {
+        var s: int = 0;
+        var i: int;
+        for i = 1 to n {
+            s = s + i * i;
+        }
+        return s;
+    }
+    function trig(x: float): float {
+        return sqrt(abs(x)) + min(x, 0.5) * max(x, -0.5);
+    }
+}
+`
+	m, info := front(t, src)
+	funcs := make(map[string]*Func)
+	astFns := make(map[string]*ast.FuncDecl)
+	for _, fn := range m.Sections[0].Funcs {
+		f, err := Lower(fn, info)
+		if err != nil {
+			t.Fatalf("lower %s: %v", fn.Name, err)
+		}
+		funcs[fn.Name] = f
+		astFns[fn.Name] = fn
+	}
+
+	intArgs := []int64{-17, -3, 0, 1, 2, 9, 48}
+	floatArgs := []float64{-2.5, -1.0, -0.25, 0, 0.75, 1.5, 12.0}
+
+	for name, f := range funcs {
+		fn := astFns[name]
+		for i := 0; i < 7; i++ {
+			var interpArgs []interp.Value
+			var irArgs []EvalValue
+			skip := false
+			for pi, p := range fn.Sig.Params {
+				if p.Equal(types.IntType) {
+					v := intArgs[(i+pi)%len(intArgs)]
+					if name == "gcd" && v == 0 {
+						v = 4 // avoid gcd(x,0) = x trivial path mixing with %0
+					}
+					interpArgs = append(interpArgs, interp.IntVal(v))
+					irArgs = append(irArgs, EvalInt(v))
+				} else if p.Equal(types.FloatType) {
+					v := floatArgs[(i+pi)%len(floatArgs)]
+					interpArgs = append(interpArgs, interp.FloatVal(v))
+					irArgs = append(irArgs, EvalFloat(v))
+				} else {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			want, _, err1 := interp.CallFunction(info, fn, interpArgs, interp.Limits{})
+			env := &EvalEnv{Funcs: funcs}
+			got, _, err2 := env.EvalFunc(f, irArgs)
+			if (err1 == nil) != (err2 == nil) {
+				t.Errorf("%s(%v): interp err=%v, ir err=%v", name, irArgs, err1, err2)
+				continue
+			}
+			if err1 != nil {
+				continue
+			}
+			if want.K == types.Float {
+				if math.Abs(want.F-got.AsFloat()) > 1e-9*math.Max(1, math.Abs(want.F)) {
+					t.Errorf("%s(%v): interp=%g ir=%g", name, irArgs, want.F, got.AsFloat())
+				}
+			} else if want.I != got.I {
+				t.Errorf("%s(%v): interp=%d ir=%d", name, irArgs, want.I, got.I)
+			}
+		}
+	}
+}
+
+func TestFuncStringSmoke(t *testing.T) {
+	funcs := lowerSection(t, sec(`
+function f(a: int): int {
+    if a > 0 {
+        return a;
+    }
+    return -a;
+}
+`))
+	s := funcs["f"].String()
+	for _, sub := range []string{"func f", "condbr", "ret"} {
+		if !contains(s, sub) {
+			t.Errorf("IR dump missing %q:\n%s", sub, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,153 @@
+// Package link implements the linker half of phase 4: it combines the
+// assembled objects of one section into a cell image (resolving branch
+// labels and laying out data memory), and combines the cell images of all
+// sections into a download module for the Warp array.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+// CellImage is the fully linked program for one processing element.
+type CellImage struct {
+	Section int
+	// Entry is the start PC (always 0: the entry object is placed first).
+	Entry int
+	Code  []machine.Word
+	// DataWords is the data-memory high-water mark.
+	DataWords int
+	// DataSyms maps qualified data symbols to their base addresses, kept
+	// for the debugger/listing tools.
+	DataSyms map[string]int
+}
+
+// LinkSection links the objects of one section. Exactly one object must be
+// marked as the entry; it is placed at address 0. The remaining objects
+// follow in the given order (their code is part of the image, as in the
+// real system, even when the entry never calls them after inlining).
+func LinkSection(objs []*asm.Object) (*CellImage, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("link: no objects")
+	}
+	var entry *asm.Object
+	for _, o := range objs {
+		if o.IsEntry {
+			if entry != nil {
+				return nil, fmt.Errorf("link: multiple entry objects (%s and %s)", entry.Name, o.Name)
+			}
+			entry = o
+		}
+	}
+	if entry == nil {
+		return nil, fmt.Errorf("link: no entry object among %d objects", len(objs))
+	}
+	ordered := []*asm.Object{entry}
+	for _, o := range objs {
+		if o != entry {
+			ordered = append(ordered, o)
+		}
+	}
+
+	img := &CellImage{Section: entry.Section, DataSyms: make(map[string]int)}
+
+	// Pass 1: place code and build the global label and data tables.
+	labels := make(map[string]int)
+	base := make(map[*asm.Object]int)
+	dataAddr := 0
+	for _, o := range ordered {
+		base[o] = len(img.Code)
+		for l, off := range o.Labels {
+			if _, dup := labels[l]; dup {
+				return nil, fmt.Errorf("link: duplicate label %s", l)
+			}
+			labels[l] = base[o] + off
+		}
+		img.Code = append(img.Code, o.Code...)
+		// Deterministic data layout: symbols in name order per object.
+		syms := append([]asm.DataSym(nil), o.Data...)
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+		for _, d := range syms {
+			if _, dup := img.DataSyms[d.Name]; dup {
+				return nil, fmt.Errorf("link: duplicate data symbol %s", d.Name)
+			}
+			img.DataSyms[d.Name] = dataAddr
+			dataAddr += d.Words
+		}
+	}
+	img.DataWords = dataAddr
+	if len(img.Code) > machine.ProgMemWords {
+		return nil, fmt.Errorf("link: section %d program (%d words) exceeds program memory (%d)",
+			entry.Section, len(img.Code), machine.ProgMemWords)
+	}
+	if dataAddr > machine.DataMemWords {
+		return nil, fmt.Errorf("link: section %d data (%d words) exceeds data memory (%d)",
+			entry.Section, dataAddr, machine.DataMemWords)
+	}
+
+	// Pass 2: apply relocations.
+	for _, o := range ordered {
+		for _, r := range o.Relocs {
+			wi := base[o] + r.Word
+			in := &img.Code[wi][r.Unit]
+			switch r.Kind {
+			case asm.RelocBranch:
+				target, ok := labels[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: undefined label %s (from %s)", r.Sym, o.Name)
+				}
+				in.Imm = int32(target)
+			case asm.RelocData:
+				addr, ok := img.DataSyms[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: undefined data symbol %s (from %s)", r.Sym, o.Name)
+				}
+				in.Imm = int32(addr)
+			default:
+				return nil, fmt.Errorf("link: unknown relocation kind %d", r.Kind)
+			}
+		}
+	}
+	return img, nil
+}
+
+// Module is a linked download module: one cell image per section, in
+// section order, plus host-side stream metadata.
+type Module struct {
+	Name  string
+	Cells []*CellImage
+}
+
+// LinkModule links every section's objects (grouped by section index) into
+// a download module. sections maps section index -> objects.
+func LinkModule(name string, sections map[int][]*asm.Object) (*Module, error) {
+	idxs := make([]int, 0, len(sections))
+	for i := range sections {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	m := &Module{Name: name}
+	for _, i := range idxs {
+		img, err := LinkSection(sections[i])
+		if err != nil {
+			return nil, fmt.Errorf("section %d: %w", i, err)
+		}
+		m.Cells = append(m.Cells, img)
+	}
+	if len(m.Cells) == 0 {
+		return nil, fmt.Errorf("link: module %s has no sections", name)
+	}
+	return m, nil
+}
+
+// TotalWords is the module code size across all cells.
+func (m *Module) TotalWords() int {
+	n := 0
+	for _, c := range m.Cells {
+		n += len(c.Code)
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+package machine
+
+import "math"
+
+// The cell is a 32-bit word machine: registers, memory cells and queue
+// entries all hold one 32-bit word that may be an integer or an IEEE-754
+// single. These helpers convert between the raw word and the two views.
+
+// WordVal is one 32-bit machine word.
+type WordVal uint32
+
+// IntWord encodes an integer as a machine word (two's complement).
+func IntWord(v int32) WordVal { return WordVal(uint32(v)) }
+
+// FloatWord encodes a float as a machine word (IEEE-754 single).
+func FloatWord(v float32) WordVal { return WordVal(math.Float32bits(v)) }
+
+// Int returns the word interpreted as a signed integer.
+func (w WordVal) Int() int32 { return int32(w) }
+
+// Float returns the word interpreted as an IEEE-754 single.
+func (w WordVal) Float() float32 { return math.Float32frombits(uint32(w)) }
+
+// Bool returns the word interpreted as a truth value (non-zero is true).
+func (w WordVal) Bool() bool { return w != 0 }
+
+// BoolWord encodes a truth value as 0 or 1.
+func BoolWord(b bool) WordVal {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+// Package opt implements compiler phase 2's optimizer: local optimizations
+// (constant folding, copy propagation, common-subexpression elimination) and
+// the global dataflow analyses (liveness, reaching definitions) that feed
+// dead-code elimination and the phase-3 scheduler.
+package opt
+
+// BitSet is a dense bit set over small non-negative integers (virtual
+// register numbers and instruction ids).
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold values in [0, n).
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Set adds i to the set.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes i from the set.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether i is in the set.
+func (s BitSet) Has(i int) bool {
+	w := i / 64
+	if w >= len(s) {
+		return false
+	}
+	return s[w]&(1<<(uint(i)%64)) != 0
+}
+
+// OrWith adds all elements of o, reporting whether s changed.
+func (s BitSet) OrWith(o BitSet) bool {
+	changed := false
+	for i := range o {
+		if i >= len(s) {
+			break
+		}
+		nv := s[i] | o[i]
+		if nv != s[i] {
+			s[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy overwrites s with o.
+func (s BitSet) Copy(o BitSet) {
+	copy(s, o)
+}
+
+// AndNotWith removes all elements of o from s.
+func (s BitSet) AndNotWith(o BitSet) {
+	for i := range o {
+		if i >= len(s) {
+			break
+		}
+		s[i] &^= o[i]
+	}
+}
+
+// Count returns the number of elements.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += popcount(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (s BitSet) Clone() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// ForEach calls f for every element in ascending order.
+func (s BitSet) ForEach(f func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := w & -w
+			f(wi*64 + trailingZeros(w))
+			w &^= b
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func trailingZeros(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

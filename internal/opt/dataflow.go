@@ -1,0 +1,197 @@
+package opt
+
+import "repro/internal/ir"
+
+// Liveness holds the result of global live-variable analysis: for each block
+// the virtual registers live on entry and on exit.
+type Liveness struct {
+	In  map[*ir.Block]BitSet
+	Out map[*ir.Block]BitSet
+	// NumVRegs is the analysis universe size (vreg ids are 1..NumVRegs).
+	NumVRegs int
+}
+
+// ComputeLiveness runs backward iterative dataflow over f.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := f.NumVRegs() + 1
+	lv := &Liveness{
+		In:       make(map[*ir.Block]BitSet, len(f.Blocks)),
+		Out:      make(map[*ir.Block]BitSet, len(f.Blocks)),
+		NumVRegs: f.NumVRegs(),
+	}
+	use := make(map[*ir.Block]BitSet, len(f.Blocks))
+	def := make(map[*ir.Block]BitSet, len(f.Blocks))
+
+	for _, b := range f.Blocks {
+		u, d := NewBitSet(n), NewBitSet(n)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range in.Uses() {
+				if !d.Has(int(r)) {
+					u.Set(int(r))
+				}
+			}
+			if dst := in.Def(); dst != ir.None {
+				d.Set(int(dst))
+			}
+		}
+		use[b], def[b] = u, d
+		lv.In[b] = NewBitSet(n)
+		lv.Out[b] = NewBitSet(n)
+	}
+
+	// Iterate to fixpoint, visiting blocks in reverse order for faster
+	// convergence of the backward problem.
+	rpo := ir.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.Out[b]
+			for _, s := range b.Succs {
+				if out.OrWith(lv.In[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			newIn := out.Clone()
+			newIn.AndNotWith(def[b])
+			newIn.OrWith(use[b])
+			if lv.In[b].OrWith(newIn) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAt walks a block backwards computing per-instruction live-out sets.
+// It calls visit for every instruction with the set of registers live
+// immediately after it. The callback must not retain the set.
+func (lv *Liveness) LiveAt(b *ir.Block, visit func(idx int, liveOut BitSet)) {
+	live := lv.Out[b].Clone()
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		visit(i, live)
+		in := &b.Instrs[i]
+		if dst := in.Def(); dst != ir.None {
+			live.Clear(int(dst))
+		}
+		for _, r := range in.Uses() {
+			live.Set(int(r))
+		}
+	}
+}
+
+// DefSite identifies one definition: the block and instruction index.
+type DefSite struct {
+	Block *ir.Block
+	Index int
+}
+
+// ReachingDefs holds the reaching-definitions solution. Definitions are
+// numbered densely; In[b] is the set of definition ids reaching the entry
+// of b.
+type ReachingDefs struct {
+	Defs  []DefSite            // definition id -> site
+	DefOf map[*ir.Block][]int  // block -> definition ids in order
+	In    map[*ir.Block]BitSet // reaching in
+	Out   map[*ir.Block]BitSet
+	// ByVReg lists definition ids per virtual register.
+	ByVReg map[ir.VReg][]int
+}
+
+// ComputeReachingDefs runs forward iterative dataflow over f. This is the
+// "computation of global dependencies" of the paper's phase 2; the
+// scheduler consults it when checking whether a value flowing into a loop is
+// redefined inside it.
+func ComputeReachingDefs(f *ir.Func) *ReachingDefs {
+	rd := &ReachingDefs{
+		DefOf:  make(map[*ir.Block][]int),
+		In:     make(map[*ir.Block]BitSet),
+		Out:    make(map[*ir.Block]BitSet),
+		ByVReg: make(map[ir.VReg][]int),
+	}
+	// Number definitions.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if dst := b.Instrs[i].Def(); dst != ir.None {
+				id := len(rd.Defs)
+				rd.Defs = append(rd.Defs, DefSite{Block: b, Index: i})
+				rd.DefOf[b] = append(rd.DefOf[b], id)
+				rd.ByVReg[dst] = append(rd.ByVReg[dst], id)
+			}
+		}
+	}
+	n := len(rd.Defs)
+
+	gen := make(map[*ir.Block]BitSet)
+	kill := make(map[*ir.Block]BitSet)
+	for _, b := range f.Blocks {
+		g, k := NewBitSet(n), NewBitSet(n)
+		// Walk forward; later defs of the same vreg kill earlier ones.
+		lastDef := make(map[ir.VReg]int)
+		for i := range b.Instrs {
+			if dst := b.Instrs[i].Def(); dst != ir.None {
+				id := defIDAt(rd, b, i)
+				lastDef[dst] = id
+			}
+		}
+		for v, id := range lastDef {
+			g.Set(id)
+			for _, other := range rd.ByVReg[v] {
+				if other != id {
+					k.Set(other)
+				}
+			}
+		}
+		gen[b], kill[b] = g, k
+		rd.In[b] = NewBitSet(n)
+		rd.Out[b] = NewBitSet(n)
+	}
+
+	rpo := ir.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			in := rd.In[b]
+			for _, p := range b.Preds {
+				if in.OrWith(rd.Out[p]) {
+					changed = true
+				}
+			}
+			newOut := in.Clone()
+			newOut.AndNotWith(kill[b])
+			newOut.OrWith(gen[b])
+			if rd.Out[b].OrWith(newOut) {
+				changed = true
+			}
+		}
+	}
+	return rd
+}
+
+func defIDAt(rd *ReachingDefs, b *ir.Block, idx int) int {
+	// DefOf[b] is ordered by instruction index; find the one at idx.
+	k := 0
+	for i := 0; i <= idx; i++ {
+		if b.Instrs[i].Def() != ir.None {
+			if i == idx {
+				return rd.DefOf[b][k]
+			}
+			k++
+		}
+	}
+	return -1
+}
+
+// ReachingDefsOf returns the definition sites of v that reach the entry of b.
+func (rd *ReachingDefs) ReachingDefsOf(b *ir.Block, v ir.VReg) []DefSite {
+	var out []DefSite
+	in := rd.In[b]
+	for _, id := range rd.ByVReg[v] {
+		if in.Has(id) {
+			out = append(out, rd.Defs[id])
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// Outline is the structural summary of a module that the master process
+// extracts with its extra up-front parse (the paper's "setup time"): how many
+// sections there are, which functions each contains, and per-function size
+// metrics. The scheduler's load-balancing heuristic (§4.3: "a combination of
+// lines of code and loop nesting can serve as approximation of the
+// compilation time") reads exactly these fields.
+type Outline struct {
+	Module   string
+	Sections []SectionOutline
+}
+
+// SectionOutline summarizes one section program.
+type SectionOutline struct {
+	Index     int
+	Functions []FuncOutline
+}
+
+// FuncOutline summarizes one function for scheduling purposes.
+type FuncOutline struct {
+	Name      string
+	Section   int // 1-based section number
+	Index     int // 0-based position within the section
+	Lines     int // formatted lines of code (the paper's size metric)
+	LoopDepth int // deepest loop nesting
+}
+
+// NumFunctions returns the total number of functions in the outline.
+func (o *Outline) NumFunctions() int {
+	n := 0
+	for _, s := range o.Sections {
+		n += len(s.Functions)
+	}
+	return n
+}
+
+// AllFunctions returns every function outline in declaration order.
+func (o *Outline) AllFunctions() []FuncOutline {
+	var out []FuncOutline
+	for _, s := range o.Sections {
+		out = append(out, s.Functions...)
+	}
+	return out
+}
+
+// OutlineOf computes the structural summary of an already-parsed module.
+func OutlineOf(m *ast.Module) *Outline {
+	o := &Outline{Module: m.Name}
+	for _, s := range m.Sections {
+		so := SectionOutline{Index: s.Index}
+		for i, f := range s.Funcs {
+			so.Functions = append(so.Functions, FuncOutline{
+				Name:      f.Name,
+				Section:   s.Index,
+				Index:     i,
+				Lines:     ast.FuncLines(f),
+				LoopDepth: ast.MaxLoopDepth(f),
+			})
+		}
+		o.Sections = append(o.Sections, so)
+	}
+	return o
+}
+
+// ParseOutline performs the master's structural parse: a full parse of src
+// followed by outline extraction. Any syntax error lands in diags, which is
+// how the paper's master aborts the compilation before forking anything.
+func ParseOutline(file string, src []byte, diags *source.DiagBag) *Outline {
+	m := Parse(file, src, diags)
+	if m == nil || diags.HasErrors() {
+		return nil
+	}
+	return OutlineOf(m)
+}

@@ -1,0 +1,329 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+const demoModule = `
+module demo (in x: float[512], out y: float[512])
+
+section 1 of 2 {
+    function scale(a: float, k: float): float {
+        return a * k;
+    }
+    function cell1() {
+        var i: int;
+        var v: float;
+        for i = 0 to 511 {
+            receive(X, v);
+            send(Y, scale(v, 2.5));
+        }
+    }
+}
+
+section 2 of 2 {
+    function cell2() {
+        var i: int;
+        var v: float;
+        var acc: float = 0.0;
+        for i = 0 to 511 step 1 {
+            receive(X, v);
+            if v > 0.0 {
+                acc = acc + v;
+            } else {
+                acc = acc - v;
+            }
+            send(Y, acc);
+        }
+    }
+}
+`
+
+func parseOK(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	var bag source.DiagBag
+	m := Parse("test.w2", []byte(src), &bag)
+	if bag.HasErrors() {
+		t.Fatalf("unexpected parse errors:\n%s", bag.String())
+	}
+	return m
+}
+
+func TestParseDemoModule(t *testing.T) {
+	m := parseOK(t, demoModule)
+	if m.Name != "demo" {
+		t.Errorf("module name = %q, want demo", m.Name)
+	}
+	if len(m.Streams) != 2 {
+		t.Fatalf("streams = %d, want 2", len(m.Streams))
+	}
+	if m.Streams[0].Dir != ast.StreamIn || m.Streams[1].Dir != ast.StreamOut {
+		t.Errorf("stream directions wrong")
+	}
+	if len(m.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(m.Sections))
+	}
+	if m.NumFunctions() != 3 {
+		t.Errorf("NumFunctions = %d, want 3", m.NumFunctions())
+	}
+	s1 := m.Sections[0]
+	if s1.Index != 1 || s1.Of != 2 || len(s1.Funcs) != 2 {
+		t.Errorf("section 1 header wrong: %+v", s1)
+	}
+	if s1.Entry().Name != "cell1" {
+		t.Errorf("section 1 entry = %q, want cell1", s1.Entry().Name)
+	}
+	scale := s1.Funcs[0]
+	if scale.Name != "scale" || len(scale.Params) != 2 || scale.Result == nil {
+		t.Errorf("scale signature wrong: %+v", scale)
+	}
+	if scale.SectionIndex != 1 || scale.FuncIndex != 0 {
+		t.Errorf("scale location = (%d,%d), want (1,0)", scale.SectionIndex, scale.FuncIndex)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(n: int): int {
+        var a: int[10];
+        var s: int = 0;
+        var j: int;
+        j = 0;
+        while j < n {
+            a[j] = j * j;
+            j = j + 1;
+        }
+        for j = 0 to n - 1 {
+            if a[j] % 2 == 0 {
+                s = s + a[j];
+            } else {
+                if a[j] > 100 {
+                    break;
+                }
+                continue;
+            }
+        }
+        {
+            s = s + 1;
+        }
+        return s;
+    }
+}
+`
+	m := parseOK(t, src)
+	f := m.Sections[0].Funcs[0]
+	kindCount := map[string]int{}
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.VarDecl:
+			kindCount["var"]++
+		case *ast.While:
+			kindCount["while"]++
+		case *ast.For:
+			kindCount["for"]++
+		case *ast.If:
+			kindCount["if"]++
+		case *ast.Break:
+			kindCount["break"]++
+		case *ast.Continue:
+			kindCount["continue"]++
+		case *ast.Return:
+			kindCount["return"]++
+		}
+		return true
+	})
+	want := map[string]int{"var": 3, "while": 1, "for": 1, "if": 2, "break": 1, "continue": 1, "return": 1}
+	for k, v := range want {
+		if kindCount[k] != v {
+			t.Errorf("%s count = %d, want %d", k, kindCount[k], v)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"a && b || c", "a && b || c"},
+		{"a || b && c", "a || b && c"},
+		{"-x * y", "-x * y"},
+		{"-(x * y)", "-(x * y)"},
+		{"!a == b", "!a == b"},
+		{"a < b && b < c", "a < b && b < c"},
+		{"a[i + 1][j]", "a[i + 1][j]"},
+		{"f(x, g(y), 3.5)", "f(x, g(y), 3.5)"},
+		{"1 - 2 - 3", "1 - 2 - 3"},         // left assoc
+		{"1 - (2 - 3)", "1 - (2 - 3)"},     // explicit right grouping preserved
+		{"a / b % c * d", "a / b % c * d"}, // left assoc chain
+	}
+	for _, c := range cases {
+		var bag source.DiagBag
+		e := ParseExpr(c.src, &bag)
+		if bag.HasErrors() {
+			t.Errorf("%q: parse errors: %s", c.src, bag.String())
+			continue
+		}
+		if got := ast.ExprString(e); got != c.want {
+			t.Errorf("%q: printed as %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m1 := parseOK(t, demoModule)
+	text1 := ast.Format(m1)
+	m2 := parseOK(t, text1)
+	text2 := ast.Format(m2)
+	if text1 != text2 {
+		t.Errorf("print/parse round trip not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no sections", "module m", "no sections"},
+		{"empty section", "module m section 1 { }", "no functions"},
+		{"bad type", "module m section 1 { function f(x: quux) { return; } }", "unknown type"},
+		{"bad channel", "module m section 1 { function f() { receive(Z, x); } }", "unknown channel"},
+		{"missing semicolon", "module m section 1 { function f() { x = 1 } }", "expected"},
+		{"stray tokens after module", "module m section 1 { function f() { return; } } extra", "after end of module"},
+		{"bad stream dir", "module m (inout x: float) section 1 { function f() { return; } }", "in\" or \"out"},
+		{"missing expr", "module m section 1 { function f() { x = ; } }", "expected expression"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var bag source.DiagBag
+			Parse("err.w2", []byte(c.src), &bag)
+			if !bag.HasErrors() {
+				t.Fatalf("expected errors, got none")
+			}
+			if !strings.Contains(bag.String(), c.wantSub) {
+				t.Errorf("diagnostics %q do not mention %q", bag.String(), c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParserRecovery(t *testing.T) {
+	// Multiple independent errors should each be reported; the parser must
+	// not give up at the first one or loop forever.
+	src := `
+module m
+section 1 {
+    function f() {
+        x = ;
+        y = 1;
+        z = @;
+        w = 2;
+    }
+}
+`
+	var bag source.DiagBag
+	m := Parse("rec.w2", []byte(src), &bag)
+	if bag.ErrorCount() < 2 {
+		t.Errorf("expected at least 2 errors, got %d:\n%s", bag.ErrorCount(), bag.String())
+	}
+	if m == nil || len(m.Sections) != 1 {
+		t.Fatalf("recovery should still produce the module skeleton")
+	}
+}
+
+func TestOutline(t *testing.T) {
+	var bag source.DiagBag
+	o := ParseOutline("demo.w2", []byte(demoModule), &bag)
+	if bag.HasErrors() || o == nil {
+		t.Fatalf("outline failed: %s", bag.String())
+	}
+	if o.Module != "demo" || len(o.Sections) != 2 || o.NumFunctions() != 3 {
+		t.Fatalf("outline structure wrong: %+v", o)
+	}
+	fns := o.AllFunctions()
+	if fns[0].Name != "scale" || fns[1].Name != "cell1" || fns[2].Name != "cell2" {
+		t.Errorf("function order wrong: %+v", fns)
+	}
+	if fns[1].LoopDepth != 1 || fns[0].LoopDepth != 0 {
+		t.Errorf("loop depths wrong: %+v", fns)
+	}
+	if fns[2].Lines <= fns[0].Lines {
+		t.Errorf("cell2 (%d lines) should be longer than scale (%d lines)", fns[2].Lines, fns[0].Lines)
+	}
+}
+
+func TestOutlineOnSyntaxError(t *testing.T) {
+	var bag source.DiagBag
+	o := ParseOutline("bad.w2", []byte("module m section {"), &bag)
+	if o != nil {
+		t.Error("outline of erroneous module should be nil (master aborts)")
+	}
+	if !bag.HasErrors() {
+		t.Error("expected syntax errors")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f(x: int): int {
+        if x == 1 {
+            return 10;
+        } else if x == 2 {
+            return 20;
+        } else {
+            return 30;
+        }
+    }
+}
+`
+	m := parseOK(t, src)
+	f := m.Sections[0].Funcs[0]
+	outer, ok := f.Body.Stmts[0].(*ast.If)
+	if !ok {
+		t.Fatalf("first statement is %T, want *ast.If", f.Body.Stmts[0])
+	}
+	inner, ok := outer.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else arm is %T, want nested *ast.If", outer.Else)
+	}
+	if inner.Else == nil {
+		t.Error("inner else missing")
+	}
+	// Round trip must preserve the chain.
+	m2 := parseOK(t, ast.Format(m))
+	if ast.Format(m2) != ast.Format(m) {
+		t.Error("else-if chain not stable under print/parse")
+	}
+}
+
+func TestMaxLoopDepth(t *testing.T) {
+	src := `
+module m
+section 1 {
+    function f() {
+        var i: int; var j: int; var k: int;
+        for i = 0 to 9 {
+            for j = 0 to 9 {
+                while k < 3 {
+                    k = k + 1;
+                }
+            }
+        }
+        for i = 0 to 4 {
+            i = i;
+        }
+    }
+}
+`
+	m := parseOK(t, src)
+	if d := ast.MaxLoopDepth(m.Sections[0].Funcs[0]); d != 3 {
+		t.Errorf("MaxLoopDepth = %d, want 3", d)
+	}
+}

@@ -1,0 +1,203 @@
+// Package pmake implements the parallel-make baseline the paper compares
+// against (§3.4, Baalbergen's parallel make): a makefile dependency graph
+// whose independent targets build concurrently on a bounded worker pool,
+// each target compiled by the ordinary sequential compiler.
+//
+// Parallel make exploits module-level parallelism declared by the user; the
+// paper's parallel compiler exploits function-level parallelism discovered
+// by the compiler. The two compose ("both approaches could coexist"), which
+// the experiments package quantifies on the simulated cluster.
+package pmake
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Rule is one makefile rule: a target, its dependencies, and its recipe.
+type Rule struct {
+	Target string
+	Deps   []string
+}
+
+// Makefile is a dependency graph over targets.
+type Makefile struct {
+	rules map[string]*Rule
+}
+
+// Parse reads a minimal makefile syntax: one "target: dep dep ..." per
+// line; blank lines and '#' comments are ignored. Recipes are supplied at
+// build time (the runner function), as this reproduction only needs the
+// dependency semantics.
+func Parse(text string) (*Makefile, error) {
+	m := &Makefile{rules: make(map[string]*Rule)}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("line %d: missing ':' in rule %q", lineNo+1, line)
+		}
+		target := strings.TrimSpace(line[:colon])
+		if target == "" {
+			return nil, fmt.Errorf("line %d: empty target", lineNo+1)
+		}
+		if _, dup := m.rules[target]; dup {
+			return nil, fmt.Errorf("line %d: duplicate rule for %q", lineNo+1, target)
+		}
+		r := &Rule{Target: target}
+		for _, d := range strings.Fields(line[colon+1:]) {
+			r.Deps = append(r.Deps, d)
+		}
+		m.rules[target] = r
+	}
+	return m, nil
+}
+
+// Targets returns all rule targets in sorted order.
+func (m *Makefile) Targets() []string {
+	out := make([]string, 0, len(m.rules))
+	for t := range m.rules {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rule returns the rule for a target, or nil.
+func (m *Makefile) Rule(target string) *Rule { return m.rules[target] }
+
+// checkGraph verifies every dependency has a rule and the graph is acyclic,
+// returning targets in a valid build order.
+func (m *Makefile) checkGraph(root string) ([]string, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var order []string
+	var visit func(t string, path []string) error
+	visit = func(t string, path []string) error {
+		switch color[t] {
+		case gray:
+			return fmt.Errorf("dependency cycle: %s -> %s", strings.Join(path, " -> "), t)
+		case black:
+			return nil
+		}
+		r := m.rules[t]
+		if r == nil {
+			return fmt.Errorf("no rule to make target %q (needed by %s)", t, strings.Join(path, " -> "))
+		}
+		color[t] = gray
+		for _, d := range r.Deps {
+			if err := visit(d, append(path, t)); err != nil {
+				return err
+			}
+		}
+		color[t] = black
+		order = append(order, t)
+		return nil
+	}
+	if err := visit(root, nil); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// Build makes root with up to jobs concurrent recipe executions, honoring
+// dependencies. run is invoked once per needed target after its
+// dependencies completed. The first recipe error aborts outstanding work
+// (running recipes finish; no new ones start).
+func (m *Makefile) Build(root string, jobs int, run func(target string) error) error {
+	if jobs < 1 {
+		jobs = 1
+	}
+	order, err := m.checkGraph(root)
+	if err != nil {
+		return err
+	}
+
+	needed := make(map[string]bool, len(order))
+	for _, t := range order {
+		needed[t] = true
+	}
+	// remaining deps per target; reverse edges.
+	remaining := make(map[string]int)
+	rdeps := make(map[string][]string)
+	for _, t := range order {
+		r := m.rules[t]
+		remaining[t] = len(r.Deps)
+		for _, d := range r.Deps {
+			rdeps[d] = append(rdeps[d], t)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		ready   []string
+		done    int
+		failed  error
+		running int
+	)
+	for _, t := range order {
+		if remaining[t] == 0 {
+			ready = append(ready, t)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && failed == nil && done+running < len(order) {
+					cond.Wait()
+				}
+				if failed != nil || len(ready) == 0 {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				t := ready[0]
+				ready = ready[1:]
+				running++
+				mu.Unlock()
+
+				err := run(t)
+
+				mu.Lock()
+				running--
+				done++
+				if err != nil && failed == nil {
+					failed = fmt.Errorf("target %s: %w", t, err)
+				}
+				if failed == nil {
+					for _, up := range rdeps[t] {
+						remaining[up]--
+						if remaining[up] == 0 {
+							ready = append(ready, up)
+						}
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failed != nil {
+		return failed
+	}
+	if done != len(order) {
+		return fmt.Errorf("build stalled: %d of %d targets built", done, len(order))
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkTask(name string, lines, depth int) Task {
+	return Task{Name: name, Lines: lines, LoopDepth: depth}
+}
+
+func TestEstimateCostOrdering(t *testing.T) {
+	small := mkTask("s", 35, 2)
+	large := mkTask("l", 280, 2)
+	if EstimateCost(small) >= EstimateCost(large) {
+		t.Error("more lines must cost more")
+	}
+	shallow := mkTask("a", 100, 1)
+	deep := mkTask("b", 100, 3)
+	if EstimateCost(shallow) >= EstimateCost(deep) {
+		t.Error("deeper nesting must cost more")
+	}
+	if EstimateCost(mkTask("z", 100, 0)) != EstimateCost(mkTask("z", 100, 1)) {
+		t.Error("depth 0 and 1 should cost the same (no nesting either way)")
+	}
+}
+
+func TestFCFSPreservesOrder(t *testing.T) {
+	tasks := []Task{mkTask("a", 10, 1), mkTask("b", 300, 3), mkTask("c", 50, 2)}
+	got := FCFS(tasks)
+	for i := range tasks {
+		if got[i].Name != tasks[i].Name {
+			t.Fatalf("order changed: %v", got)
+		}
+	}
+	got[0].Name = "mutated"
+	if tasks[0].Name != "a" {
+		t.Error("FCFS must copy, not alias")
+	}
+}
+
+func TestGroupBalances(t *testing.T) {
+	// One large and several small tasks on 2 processors: the large task
+	// must sit alone (or nearly so).
+	tasks := []Task{
+		mkTask("big", 300, 3),
+		mkTask("s1", 20, 1), mkTask("s2", 25, 1), mkTask("s3", 30, 1), mkTask("s4", 15, 1),
+	}
+	groups := Group(tasks, 2)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	var bigGroup, smallGroup []Task
+	for _, g := range groups {
+		for _, task := range g {
+			if task.Name == "big" {
+				bigGroup = g
+			}
+		}
+	}
+	for _, g := range groups {
+		if len(bigGroup) > 0 && &g[0] != &bigGroup[0] {
+			smallGroup = g
+		}
+	}
+	if len(bigGroup) == 0 {
+		t.Fatal("big task lost")
+	}
+	if len(smallGroup) != 4 {
+		t.Errorf("all four small tasks should share the other processor, got %d", len(smallGroup))
+	}
+}
+
+func TestGroupDegenerateCases(t *testing.T) {
+	if g := Group(nil, 3); len(g) != 3 {
+		t.Errorf("empty task list should still give 3 (empty) groups")
+	}
+	tasks := []Task{mkTask("a", 10, 1)}
+	g := Group(tasks, 0)
+	if len(g) != 1 || len(g[0]) != 1 {
+		t.Errorf("nproc<1 must clamp to 1: %v", g)
+	}
+}
+
+func TestGroupMakespanNotWorseThanSingleProcessor(t *testing.T) {
+	f := func(seeds []uint8, nproc uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		p := int(nproc%8) + 1
+		var tasks []Task
+		total := 0.0
+		for i, s := range seeds {
+			task := mkTask(string(rune('a'+i%26)), int(s)+1, int(s)%4)
+			tasks = append(tasks, task)
+			total += EstimateCost(task)
+		}
+		groups := Group(tasks, p)
+		ms := Makespan(groups)
+		// Makespan can never beat total/p nor exceed the serial total; and
+		// every task must appear exactly once.
+		if ms > total+1e-9 || ms < total/float64(p)-1e-9 {
+			return false
+		}
+		n := 0
+		for _, g := range groups {
+			n += len(g)
+		}
+		return n == len(tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLPTBeatsNaiveSplitOnSkewedLoad(t *testing.T) {
+	// §4.3's observation: grouping small functions achieves with fewer
+	// processors what one-function-per-processor achieves with nine.
+	tasks := []Task{
+		mkTask("m1", 300, 3), mkTask("m2", 300, 3), mkTask("m3", 300, 3),
+		mkTask("a1", 10, 1), mkTask("a2", 40, 1), mkTask("a3", 15, 1),
+		mkTask("a4", 35, 1), mkTask("a5", 5, 1), mkTask("a6", 38, 1),
+	}
+	five := Makespan(Group(tasks, 5))
+	nine := Makespan(Group(tasks, 9))
+	if five > nine*1.15 {
+		t.Errorf("5-processor grouped makespan %.0f should be close to 9-processor %.0f", five, nine)
+	}
+}

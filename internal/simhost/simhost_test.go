@@ -1,0 +1,170 @@
+package simhost
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/wgen"
+)
+
+func pm() costmodel.Params { return costmodel.Default1989() }
+
+func outline(t *testing.T, src []byte) *parser.Outline {
+	t.Helper()
+	var bag source.DiagBag
+	o := parser.ParseOutline("t.w2", src, &bag)
+	if o == nil || bag.HasErrors() {
+		t.Fatal(bag.String())
+	}
+	return o
+}
+
+func TestSequentialScalesWithWork(t *testing.T) {
+	o1 := outline(t, wgen.SyntheticProgram(wgen.Small, 1))
+	o4 := outline(t, wgen.SyntheticProgram(wgen.Small, 4))
+	t1 := SimulateSequential(o1, pm())
+	t4 := SimulateSequential(o4, pm())
+	if t4.Elapsed <= t1.Elapsed*2 {
+		t.Errorf("4 functions (%.0fs) should take much longer than 1 (%.0fs)", t4.Elapsed, t1.Elapsed)
+	}
+	if t1.CPU <= 0 || t1.CPU > t1.Elapsed {
+		t.Errorf("CPU (%.0f) must be positive and <= elapsed (%.0f)", t1.CPU, t1.Elapsed)
+	}
+}
+
+func TestParallelUsesWorkers(t *testing.T) {
+	o := outline(t, wgen.SyntheticProgram(wgen.Large, 8))
+	p1 := SimulateParallel(o, pm(), 1, FCFS)
+	p4 := SimulateParallel(o, pm(), 4, FCFS)
+	p8 := SimulateParallel(o, pm(), 8, FCFS)
+	if !(p8.Elapsed < p4.Elapsed && p4.Elapsed < p1.Elapsed) {
+		t.Errorf("elapsed should fall with workers: %.0f %.0f %.0f", p1.Elapsed, p4.Elapsed, p8.Elapsed)
+	}
+	if len(p8.FuncCPU) != 8 {
+		t.Errorf("expected 8 function masters, got %d", len(p8.FuncCPU))
+	}
+	if p8.MaxProcCPU <= 0 {
+		t.Error("per-processor CPU must be populated")
+	}
+	// With one worker, function masters queue: waiting time must appear.
+	if p1.WaitSec <= 0 {
+		t.Error("single-worker run must record workstation waiting")
+	}
+}
+
+func TestEightTasksOnFifteenStationsDontWait(t *testing.T) {
+	o := outline(t, wgen.SyntheticProgram(wgen.Medium, 8))
+	p := SimulateParallel(o, pm(), 15, FCFS)
+	if p.WaitSec != 0 {
+		t.Errorf("8 masters on 15 stations should never wait, got %.1fs", p.WaitSec)
+	}
+}
+
+func TestDownloadContentionGrowsWithMasters(t *testing.T) {
+	o2 := outline(t, wgen.SyntheticProgram(wgen.Small, 2))
+	o8 := outline(t, wgen.SyntheticProgram(wgen.Small, 8))
+	p2 := SimulateParallel(o2, pm(), 15, FCFS)
+	p8 := SimulateParallel(o8, pm(), 15, FCFS)
+	if p8.DownloadSec/8 <= p2.DownloadSec/2 {
+		t.Errorf("per-master download time should grow with contention: %.1f vs %.1f",
+			p8.DownloadSec/8, p2.DownloadSec/2)
+	}
+}
+
+func TestSequentialSwapsOnBigPrograms(t *testing.T) {
+	small := outline(t, wgen.SyntheticProgram(wgen.Tiny, 2))
+	big := outline(t, wgen.SyntheticProgram(wgen.Large, 8))
+	if s := SimulateSequential(small, pm()); s.SwapSec != 0 {
+		t.Errorf("tiny program should not page, got %.1fs swap", s.SwapSec)
+	}
+	if b := SimulateSequential(big, pm()); b.SwapSec <= 0 {
+		t.Error("8 x f_large must page on a single workstation")
+	}
+}
+
+func TestParallelPiecesFitWhereSequentialSwaps(t *testing.T) {
+	// The negative-system-overhead mechanism: per-function masters of a
+	// medium program do not page while the sequential run does.
+	o := outline(t, wgen.SyntheticProgram(wgen.Medium, 4))
+	seq := SimulateSequential(o, pm())
+	par := SimulateParallel(o, pm(), 15, FCFS)
+	if seq.SwapSec <= 0 {
+		t.Error("sequential 4 x f_medium should page")
+	}
+	if par.SwapSec > 0 {
+		t.Errorf("parallel medium masters should fit in memory, got %.1fs swap", par.SwapSec)
+	}
+}
+
+func TestGroupedReducesStartups(t *testing.T) {
+	o := outline(t, wgen.UserProgram())
+	fcfs := SimulateParallel(o, pm(), 3, FCFS)
+	grouped := SimulateParallel(o, pm(), 3, Grouped)
+	// Grouping shares Lisp processes: fewer startups.
+	if grouped.StartupSec >= fcfs.StartupSec {
+		t.Errorf("grouped startup total (%.0fs) should be below FCFS (%.0fs)",
+			grouped.StartupSec, fcfs.StartupSec)
+	}
+}
+
+func TestImplOverheadComponents(t *testing.T) {
+	o := outline(t, wgen.SyntheticProgram(wgen.Small, 4))
+	p := SimulateParallel(o, pm(), 15, FCFS)
+	if p.SetupSec <= 0 || p.SchedSec <= 0 || p.SectionSec <= 0 {
+		t.Errorf("implementation overhead components must be positive: %+v", p)
+	}
+	if p.ImplOverhead() != p.SetupSec+p.SchedSec+p.SectionSec {
+		t.Error("ImplOverhead must sum its components")
+	}
+	if p.ImplOverhead() >= p.Elapsed {
+		t.Error("implementation overhead cannot exceed elapsed time")
+	}
+}
+
+func TestCostModelAnchors(t *testing.T) {
+	// §4.3 anchors: ~300-line functions compile in 19-22 minutes, 5-45-line
+	// ones in 2-6 minutes (sequential, plus per-function attribution).
+	P := pm()
+	large := P.CompileSec(300, 3)
+	if large < 15*60 || large > 25*60 {
+		t.Errorf("300-line compile = %.0fs, want roughly 19-22 minutes", large)
+	}
+	small := P.CompileSec(25, 1)
+	if small < 60 || small > 6*60 {
+		t.Errorf("25-line compile = %.0fs, want roughly 2-6 minutes", small)
+	}
+	// §3.4: parsing is <5% of sequential compilation.
+	parse := P.ParseSec(300)
+	if parse > large/20 {
+		t.Errorf("parse (%.0fs) exceeds 5%% of compile (%.0fs)", parse, large)
+	}
+	// Assembly is short compared to code generation.
+	if asmT := P.AsmSec(300); asmT > large/10 {
+		t.Errorf("assembly (%.0fs) should be short vs compile (%.0fs)", asmT, large)
+	}
+}
+
+func TestMemoryPressureCapped(t *testing.T) {
+	P := pm()
+	if P.MemoryPressure(P.NodeMemMB) != 0 {
+		t.Error("fitting working set must have zero pressure")
+	}
+	if pr := P.MemoryPressure(P.NodeMemMB * 10); pr != P.MaxPressure {
+		t.Errorf("pressure must cap at %.2f, got %.2f", P.MaxPressure, pr)
+	}
+	if pr := P.MemoryPressure(P.NodeMemMB + 1); pr <= 0 || pr > P.MaxPressure {
+		t.Errorf("mild pressure out of range: %g", pr)
+	}
+}
+
+func TestDepthFactorAffectsCost(t *testing.T) {
+	P := pm()
+	if P.CompileSec(100, 3) <= P.CompileSec(100, 1) {
+		t.Error("deeper nesting must cost more compile time")
+	}
+	if P.WorkingSetMB(100, 800, 0) <= P.WorkingSetMB(100, 100, 0) {
+		t.Error("bigger module context must enlarge the working set")
+	}
+}

@@ -1,0 +1,119 @@
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Warn diagnostics do not prevent compilation.
+	Warn Severity = iota
+	// Err diagnostics abort compilation after the current phase. The paper's
+	// compiler discovers all syntax and semantic errors during the master's
+	// initial parse and aborts before any parallel work is forked.
+	Err
+)
+
+func (s Severity) String() string {
+	if s == Warn {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one compiler message tied to a source position.
+type Diagnostic struct {
+	Pos      Pos
+	Severity Severity
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Msg)
+}
+
+// DiagBag accumulates diagnostics across phases. The zero value is ready to
+// use. DiagBag is not safe for concurrent use; in the parallel compiler each
+// function master owns a private bag which the section master later merges,
+// mirroring the paper's diagnostic-combining step.
+type DiagBag struct {
+	diags []Diagnostic
+	errs  int
+}
+
+// Errorf records an error at pos.
+func (b *DiagBag) Errorf(pos Pos, format string, args ...any) {
+	b.diags = append(b.diags, Diagnostic{Pos: pos, Severity: Err, Msg: fmt.Sprintf(format, args...)})
+	b.errs++
+}
+
+// Warnf records a warning at pos.
+func (b *DiagBag) Warnf(pos Pos, format string, args ...any) {
+	b.diags = append(b.diags, Diagnostic{Pos: pos, Severity: Warn, Msg: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any error-severity diagnostic was recorded.
+func (b *DiagBag) HasErrors() bool { return b.errs > 0 }
+
+// ErrorCount returns the number of error-severity diagnostics.
+func (b *DiagBag) ErrorCount() int { return b.errs }
+
+// All returns the recorded diagnostics in source order (stable for equal
+// positions, preserving emission order).
+func (b *DiagBag) All() []Diagnostic {
+	out := make([]Diagnostic, len(b.diags))
+	copy(out, b.diags)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos.File != out[j].Pos.File {
+			return out[i].Pos.File < out[j].Pos.File
+		}
+		return out[i].Pos.Before(out[j].Pos)
+	})
+	return out
+}
+
+// Merge appends all diagnostics from other into b. It implements the section
+// master's "combine the diagnostic output" step.
+func (b *DiagBag) Merge(other *DiagBag) {
+	if other == nil {
+		return
+	}
+	b.diags = append(b.diags, other.diags...)
+	b.errs += other.errs
+}
+
+// Err returns an error summarizing the bag if it holds any errors, else nil.
+func (b *DiagBag) Err() error {
+	if !b.HasErrors() {
+		return nil
+	}
+	var sb strings.Builder
+	for i, d := range b.All() {
+		if d.Severity != Err {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(d.String())
+		if i > 20 {
+			fmt.Fprintf(&sb, "\n... and %d more errors", b.errs-i-1)
+			break
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// String renders every diagnostic, one per line.
+func (b *DiagBag) String() string {
+	var sb strings.Builder
+	for _, d := range b.All() {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,40 @@
+// Package source provides the lexical layer of the W2 compiler front end:
+// source positions, tokens, a scanner, and structured diagnostics.
+//
+// The language scanned here is the W2-like source language for the Warp
+// systolic array, as described in the reproduced paper: a module consists of
+// section programs, each holding one or more functions.
+package source
+
+import "fmt"
+
+// Pos identifies a location in a source file by line and column, both
+// 1-based. Offset is the 0-based byte offset into the file.
+type Pos struct {
+	File   string
+	Offset int
+	Line   int
+	Col    int
+}
+
+// NoPos is the zero Pos; IsValid reports false for it.
+var NoPos = Pos{}
+
+// IsValid reports whether p identifies a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:col, omitting empty parts.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<unknown position>"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Before reports whether p is strictly before q within the same file.
+func (p Pos) Before(q Pos) bool {
+	return p.Offset < q.Offset
+}

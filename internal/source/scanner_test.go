@@ -1,0 +1,277 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func scan(t *testing.T, src string) ([]ScannedToken, *DiagBag) {
+	t.Helper()
+	var bag DiagBag
+	toks := ScanAll("test.w2", []byte(src), &bag)
+	return toks, &bag
+}
+
+func kinds(toks []ScannedToken) []Token {
+	out := make([]Token, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Tok)
+	}
+	return out
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	toks, bag := scan(t, "module section function var foo bar_9 Of of")
+	if bag.HasErrors() {
+		t.Fatalf("unexpected errors: %s", bag)
+	}
+	want := []Token{MODULE, SECTION, FUNCTION, VAR, IDENT, IDENT, IDENT, OF, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[4].Lit != "foo" || toks[5].Lit != "bar_9" || toks[6].Lit != "Of" {
+		t.Errorf("identifier literals wrong: %v", toks[4:7])
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	cases := []struct {
+		src string
+		tok Token
+		lit string
+	}{
+		{"0", INT, "0"},
+		{"12345", INT, "12345"},
+		{"1.5", FLOAT, "1.5"},
+		{"0.25", FLOAT, "0.25"},
+		{"1e9", FLOAT, "1e9"},
+		{"2.5e-3", FLOAT, "2.5e-3"},
+		{"7E+2", FLOAT, "7E+2"},
+	}
+	for _, c := range cases {
+		toks, bag := scan(t, c.src)
+		if bag.HasErrors() {
+			t.Errorf("%q: unexpected errors: %s", c.src, bag)
+			continue
+		}
+		if toks[0].Tok != c.tok || toks[0].Lit != c.lit {
+			t.Errorf("%q: got %s %q, want %s %q", c.src, toks[0].Tok, toks[0].Lit, c.tok, c.lit)
+		}
+	}
+}
+
+func TestScanNumberDotWithoutDigitIsMemberlike(t *testing.T) {
+	// "1." followed by a non-digit must scan as INT then an error on '.'
+	// (there is no '.' token in the language).
+	toks, bag := scan(t, "1.x")
+	if toks[0].Tok != INT || toks[0].Lit != "1" {
+		t.Fatalf("got %v, want INT(1) first", toks)
+	}
+	if !bag.HasErrors() {
+		t.Fatalf("expected an error for the stray '.'")
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	toks, bag := scan(t, "+ - * / % == != <= >= < > = && || ! ( ) [ ] { } , ; :")
+	if bag.HasErrors() {
+		t.Fatalf("unexpected errors: %s", bag)
+	}
+	want := []Token{ADD, SUB, MUL, QUO, REM, EQL, NEQ, LEQ, GEQ, LSS, GTR,
+		ASSIGN, LAND, LOR, NOT, LPAREN, RPAREN, LBRACK, RBRACK, LBRACE,
+		RBRACE, COMMA, SEMICOLON, COLON, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks, bag := scan(t, "a // line comment\nb /* block\ncomment */ c")
+	if bag.HasErrors() {
+		t.Fatalf("unexpected errors: %s", bag)
+	}
+	got := kinds(toks)
+	want := []Token{IDENT, IDENT, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	if toks[1].Pos.Line != 2 || toks[2].Pos.Line != 3 {
+		t.Errorf("line tracking across comments wrong: %v %v", toks[1].Pos, toks[2].Pos)
+	}
+}
+
+func TestScanUnterminatedComment(t *testing.T) {
+	_, bag := scan(t, "/* never closed")
+	if !bag.HasErrors() {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestScanStrings(t *testing.T) {
+	toks, bag := scan(t, `"hello" "a\"b" "tab\tnl\n"`)
+	if bag.HasErrors() {
+		t.Fatalf("unexpected errors: %s", bag)
+	}
+	if toks[0].Lit != "hello" || toks[1].Lit != `a"b` || toks[2].Lit != "tab\tnl\n" {
+		t.Errorf("string literals wrong: %q %q %q", toks[0].Lit, toks[1].Lit, toks[2].Lit)
+	}
+}
+
+func TestScanUnterminatedString(t *testing.T) {
+	_, bag := scan(t, "\"oops\n")
+	if !bag.HasErrors() {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestScanIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "&", "|", "~"} {
+		toks, bag := scan(t, src)
+		if !bag.HasErrors() {
+			t.Errorf("%q: expected a lexical error", src)
+		}
+		if toks[len(toks)-1].Tok != EOF {
+			t.Errorf("%q: stream not EOF-terminated", src)
+		}
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	toks, _ := scan(t, "a\n  bb\n\tccc")
+	if p := toks[0].Pos; p.Line != 1 || p.Col != 1 {
+		t.Errorf("a at %d:%d, want 1:1", p.Line, p.Col)
+	}
+	if p := toks[1].Pos; p.Line != 2 || p.Col != 3 {
+		t.Errorf("bb at %d:%d, want 2:3", p.Line, p.Col)
+	}
+	if p := toks[2].Pos; p.Line != 3 || p.Col != 2 {
+		t.Errorf("ccc at %d:%d, want 3:2", p.Line, p.Col)
+	}
+}
+
+func TestTokenClassification(t *testing.T) {
+	if !MODULE.IsKeyword() || !RETURN.IsKeyword() {
+		t.Error("keywords misclassified")
+	}
+	if !ADD.IsOperator() || !COLON.IsOperator() {
+		t.Error("operators misclassified")
+	}
+	if !INT.IsLiteral() || !IDENT.IsLiteral() {
+		t.Error("literals misclassified")
+	}
+	if MODULE.IsOperator() || ADD.IsKeyword() || SEMICOLON.IsLiteral() {
+		t.Error("cross classification")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	if !(LOR.Precedence() < LAND.Precedence() &&
+		LAND.Precedence() < EQL.Precedence() &&
+		EQL.Precedence() < ADD.Precedence() &&
+		ADD.Precedence() < MUL.Precedence()) {
+		t.Error("precedence levels out of order")
+	}
+	if MODULE.Precedence() != 0 || NOT.Precedence() != 0 {
+		t.Error("non-binary tokens should have precedence 0")
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	for kw := kwStart + 1; kw < kwEnd; kw++ {
+		if got := Lookup(kw.String()); got != kw {
+			t.Errorf("Lookup(%q) = %s, want %s", kw.String(), got, kw)
+		}
+	}
+	if Lookup("notakeyword") != IDENT {
+		t.Error("Lookup of non-keyword should be IDENT")
+	}
+}
+
+// TestScanNeverPanics feeds arbitrary byte soup to the scanner; the scanner
+// must terminate with an EOF token and never panic, whatever the input.
+func TestScanNeverPanics(t *testing.T) {
+	f := func(src []byte) bool {
+		var bag DiagBag
+		toks := ScanAll("fuzz.w2", src, &bag)
+		return len(toks) > 0 && toks[len(toks)-1].Tok == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanIdentRoundTrip property: any identifier-shaped string scans back to
+// a single IDENT (or keyword) token with the same spelling.
+func TestScanIdentRoundTrip(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	alnum := letters + "0123456789"
+	f := func(seed uint32, n uint8) bool {
+		length := int(n%24) + 1
+		var sb strings.Builder
+		state := seed
+		for i := 0; i < length; i++ {
+			state = state*1664525 + 1013904223
+			set := alnum
+			if i == 0 {
+				set = letters
+			}
+			sb.WriteByte(set[int(state>>16)%len(set)])
+		}
+		ident := sb.String()
+		var bag DiagBag
+		toks := ScanAll("prop.w2", []byte(ident), &bag)
+		if bag.HasErrors() || len(toks) != 2 {
+			return false
+		}
+		tk := toks[0]
+		if tk.Tok.IsKeyword() {
+			return tk.Tok.String() == ident
+		}
+		return tk.Tok == IDENT && tk.Lit == ident
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagBagMergeAndOrder(t *testing.T) {
+	var a, b DiagBag
+	a.Errorf(Pos{File: "x", Line: 3, Col: 1, Offset: 20}, "later")
+	b.Errorf(Pos{File: "x", Line: 1, Col: 1, Offset: 0}, "earlier")
+	b.Warnf(Pos{File: "x", Line: 2, Col: 1, Offset: 10}, "middle")
+	a.Merge(&b)
+	all := a.All()
+	if len(all) != 3 {
+		t.Fatalf("got %d diags, want 3", len(all))
+	}
+	if all[0].Msg != "earlier" || all[1].Msg != "middle" || all[2].Msg != "later" {
+		t.Errorf("diagnostics not in source order: %v", all)
+	}
+	if a.ErrorCount() != 2 {
+		t.Errorf("ErrorCount = %d, want 2", a.ErrorCount())
+	}
+	if a.Err() == nil {
+		t.Error("Err() should be non-nil when errors present")
+	}
+}
+
+func TestDiagBagNoErrors(t *testing.T) {
+	var b DiagBag
+	b.Warnf(NoPos, "just a warning")
+	if b.HasErrors() {
+		t.Error("warnings must not count as errors")
+	}
+	if b.Err() != nil {
+		t.Error("Err() should be nil without errors")
+	}
+}

@@ -1,0 +1,212 @@
+package source
+
+// Token is the type of a lexical token of the W2 language.
+type Token int
+
+// The complete token set. Keep the operator and keyword ranges contiguous:
+// opStart/opEnd and kwStart/kwEnd delimit them for classification helpers.
+const (
+	ILLEGAL Token = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123
+	FLOAT  // 12.5, 1e-3
+	STRING // "abc"
+
+	opStart
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN // =
+
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	opEnd
+
+	kwStart
+	MODULE   // module
+	SECTION  // section
+	OF       // of
+	FUNCTION // function
+	VAR      // var
+	IF       // if
+	ELSE     // else
+	WHILE    // while
+	FOR      // for
+	TO       // to
+	STEP     // step
+	RETURN   // return
+	RECEIVE  // receive
+	SEND     // send
+	IN       // in
+	OUT      // out
+	TRUE     // true
+	FALSE    // false
+	BREAK    // break
+	CONTINUE // continue
+	kwEnd
+)
+
+var tokenNames = map[Token]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+
+	IDENT:  "IDENT",
+	INT:    "INT",
+	FLOAT:  "FLOAT",
+	STRING: "STRING",
+
+	ADD: "+",
+	SUB: "-",
+	MUL: "*",
+	QUO: "/",
+	REM: "%",
+
+	LAND: "&&",
+	LOR:  "||",
+	NOT:  "!",
+
+	EQL: "==",
+	NEQ: "!=",
+	LSS: "<",
+	LEQ: "<=",
+	GTR: ">",
+	GEQ: ">=",
+
+	ASSIGN: "=",
+
+	LPAREN: "(",
+	RPAREN: ")",
+	LBRACK: "[",
+	RBRACK: "]",
+	LBRACE: "{",
+	RBRACE: "}",
+
+	COMMA:     ",",
+	SEMICOLON: ";",
+	COLON:     ":",
+
+	MODULE:   "module",
+	SECTION:  "section",
+	OF:       "of",
+	FUNCTION: "function",
+	VAR:      "var",
+	IF:       "if",
+	ELSE:     "else",
+	WHILE:    "while",
+	FOR:      "for",
+	TO:       "to",
+	STEP:     "step",
+	RETURN:   "return",
+	RECEIVE:  "receive",
+	SEND:     "send",
+	IN:       "in",
+	OUT:      "out",
+	TRUE:     "true",
+	FALSE:    "false",
+	BREAK:    "break",
+	CONTINUE: "continue",
+}
+
+// String returns the surface spelling of operator and keyword tokens and the
+// class name for the remaining tokens.
+func (t Token) String() string {
+	if s, ok := tokenNames[t]; ok {
+		return s
+	}
+	return "token(" + itoa(int(t)) + ")"
+}
+
+// itoa is a minimal integer formatter so that token.go does not pull fmt in.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+var keywords = func() map[string]Token {
+	m := make(map[string]Token)
+	for t := kwStart + 1; t < kwEnd; t++ {
+		m[tokenNames[t]] = t
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword token, or IDENT if the
+// spelling is not a keyword.
+func Lookup(ident string) Token {
+	if t, ok := keywords[ident]; ok {
+		return t
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether t is a reserved word of the language.
+func (t Token) IsKeyword() bool { return t > kwStart && t < kwEnd }
+
+// IsOperator reports whether t is an operator or delimiter.
+func (t Token) IsOperator() bool { return t > opStart && t < opEnd }
+
+// IsLiteral reports whether t carries a literal value or identifier spelling.
+func (t Token) IsLiteral() bool { return t == IDENT || t == INT || t == FLOAT || t == STRING }
+
+// Precedence returns the binary-operator precedence of t (higher binds
+// tighter) or 0 if t is not a binary operator. The levels follow C:
+// || < && < comparisons < additive < multiplicative.
+func (t Token) Precedence() int {
+	switch t {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ, LSS, LEQ, GTR, GEQ:
+		return 3
+	case ADD, SUB:
+		return 4
+	case MUL, QUO, REM:
+		return 5
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+// Package stats computes the paper's derived metrics — speedup and the
+// overhead decomposition of §4.2.3 — and renders result tables in the form
+// the benchmark harness prints.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Overheads is the §4.2.3 decomposition for one parallel run.
+//
+// The ideal parallel time of an n-function compilation on enough processors
+// is the sequential elapsed time divided by min(n, P). Everything beyond it
+// is overhead; the implementation overhead (master setup + scheduling +
+// section masters) is measured directly, and the system overhead is the
+// remainder. The system overhead can be negative: when the sequential
+// compiler pages against one workstation's memory while each parallel piece
+// fits, the sequential baseline is inflated and the parallel system does
+// strictly better than "ideal".
+type Overheads struct {
+	TotalSec  float64 // parallel elapsed − ideal
+	ImplSec   float64 // master + section masters (measured)
+	SystemSec float64 // Total − Impl
+	IdealSec  float64
+}
+
+// ComputeOverheads derives the decomposition from measured times.
+func ComputeOverheads(seqElapsed, parElapsed, implSec float64, nfuncs, workers int) Overheads {
+	par := nfuncs
+	if workers < par {
+		par = workers
+	}
+	if par < 1 {
+		par = 1
+	}
+	ideal := seqElapsed / float64(par)
+	total := parElapsed - ideal
+	return Overheads{
+		TotalSec:  total,
+		ImplSec:   implSec,
+		SystemSec: total - implSec,
+		IdealSec:  ideal,
+	}
+}
+
+// RelTotal returns the total overhead as a percentage of parallel elapsed
+// time (the y-axis of Figures 8–10).
+func (o Overheads) RelTotal(parElapsed float64) float64 {
+	if parElapsed == 0 {
+		return 0
+	}
+	return 100 * o.TotalSec / parElapsed
+}
+
+// RelSystem returns the system overhead as a percentage of parallel elapsed
+// time.
+func (o Overheads) RelSystem(parElapsed float64) float64 {
+	if parElapsed == 0 {
+		return 0
+	}
+	return 100 * o.SystemSec / parElapsed
+}
+
+// Speedup is sequential elapsed over parallel elapsed.
+func Speedup(seqElapsed, parElapsed float64) float64 {
+	if parElapsed == 0 {
+		return 0
+	}
+	return seqElapsed / parElapsed
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Table renders series against a shared x column, in the row/series layout
+// the benchmark harness prints for every reproduced figure.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddPoint appends a sample to the named series, creating it if needed.
+func (t *Table) AddPoint(series string, x, y float64) {
+	for i := range t.Series {
+		if t.Series[i].Name == series {
+			t.Series[i].Points = append(t.Series[i].Points, Point{x, y})
+			return
+		}
+	}
+	t.Series = append(t.Series, Series{Name: series, Points: []Point{{x, y}}})
+}
+
+// Get returns the y value of the named series at x (NaN-free: ok=false when
+// absent).
+func (t *Table) Get(series string, x float64) (float64, bool) {
+	for _, s := range t.Series {
+		if s.Name != series {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// String renders the table with x rows and one column per series.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	if t.YLabel != "" {
+		fmt.Fprintf(&sb, "   (y: %s)\n", t.YLabel)
+	}
+
+	// Collect the x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+
+	fmt.Fprintf(&sb, "%-14s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&sb, " %16s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-14g", x)
+		for _, s := range t.Series {
+			if y, ok := t.Get(s.Name, x); ok {
+				fmt.Fprintf(&sb, " %16.2f", y)
+			} else {
+				fmt.Fprintf(&sb, " %16s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

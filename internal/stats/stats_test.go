@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeOverheads(t *testing.T) {
+	// seq=800s, 4 functions on plenty of workers: ideal=200. par=260 with
+	// 40s implementation overhead: total=60, system=20.
+	o := ComputeOverheads(800, 260, 40, 4, 15)
+	if o.IdealSec != 200 || o.TotalSec != 60 || o.ImplSec != 40 || o.SystemSec != 20 {
+		t.Errorf("overheads wrong: %+v", o)
+	}
+	if got := o.RelTotal(260); got < 23.0 || got > 23.2 {
+		t.Errorf("RelTotal = %g, want ~23.1", got)
+	}
+	if got := o.RelSystem(260); got < 7.6 || got > 7.8 {
+		t.Errorf("RelSystem = %g, want ~7.7", got)
+	}
+}
+
+func TestComputeOverheadsWorkerLimited(t *testing.T) {
+	// 8 functions but only 2 workers: ideal = seq/2.
+	o := ComputeOverheads(800, 500, 10, 8, 2)
+	if o.IdealSec != 400 {
+		t.Errorf("ideal = %g, want 400", o.IdealSec)
+	}
+}
+
+func TestNegativeSystemOverheadPossible(t *testing.T) {
+	// Parallel beats the ideal (sequential baseline was paging): system
+	// overhead must come out negative.
+	o := ComputeOverheads(1000, 230, 20, 4, 15)
+	if o.SystemSec >= 0 {
+		t.Errorf("system overhead should be negative, got %g", o.SystemSec)
+	}
+}
+
+func TestSpeedupEdgeCases(t *testing.T) {
+	if Speedup(100, 50) != 2 {
+		t.Error("basic speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Error("zero parallel time must not divide")
+	}
+	var o Overheads
+	if o.RelTotal(0) != 0 || o.RelSystem(0) != 0 {
+		t.Error("zero elapsed must not divide")
+	}
+}
+
+func TestTableAddGet(t *testing.T) {
+	tbl := &Table{Title: "T", XLabel: "x"}
+	tbl.AddPoint("a", 1, 10)
+	tbl.AddPoint("a", 2, 20)
+	tbl.AddPoint("b", 1, 30)
+	if v, ok := tbl.Get("a", 2); !ok || v != 20 {
+		t.Errorf("Get(a,2) = %v %v", v, ok)
+	}
+	if _, ok := tbl.Get("a", 3); ok {
+		t.Error("missing point should report !ok")
+	}
+	if _, ok := tbl.Get("zzz", 1); ok {
+		t.Error("missing series should report !ok")
+	}
+	if len(tbl.Series) != 2 {
+		t.Errorf("series = %d, want 2", len(tbl.Series))
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{Title: "Demo", XLabel: "n", YLabel: "sec"}
+	tbl.AddPoint("seq", 1, 10.5)
+	tbl.AddPoint("seq", 2, 20)
+	tbl.AddPoint("par", 1, 5)
+	out := tbl.String()
+	for _, want := range []string{"== Demo ==", "(y: sec)", "seq", "par", "10.50", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Row order follows first-seen x order.
+	if strings.Index(out, "\n1 ") > strings.Index(out, "\n2 ") {
+		t.Errorf("x rows out of order:\n%s", out)
+	}
+}
+
+func TestOverheadDecompositionInvariant(t *testing.T) {
+	f := func(seq, par, impl float64, n, w uint8) bool {
+		if seq < 0 {
+			seq = -seq
+		}
+		if par < 0 {
+			par = -par
+		}
+		if impl < 0 {
+			impl = -impl
+		}
+		o := ComputeOverheads(seq, par, impl, int(n%16)+1, int(w%16)+1)
+		// Total must always equal Impl + System and par - ideal.
+		return approx(o.TotalSec, o.ImplSec+o.SystemSec) &&
+			approx(o.TotalSec, par-o.IdealSec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	for _, v := range []float64{a, -a, b, -b} {
+		if v > scale {
+			scale = v
+		}
+	}
+	return d <= 1e-9*scale
+}

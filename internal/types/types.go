@@ -1,0 +1,206 @@
+// Package types defines the semantic types of the W2 language: the scalar
+// types int, float and bool, fixed-size (possibly multi-dimensional) arrays
+// of scalars, and function signatures. Type identity is structural.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all W2 types.
+type Type interface {
+	String() string
+	// Equal reports structural type identity.
+	Equal(Type) bool
+}
+
+// Kind enumerates the basic types.
+type Kind int
+
+const (
+	Invalid Kind = iota
+	Int
+	Float
+	Bool
+	Void // the "type" of a function without a result
+)
+
+// Basic is a scalar type (or Void / Invalid).
+type Basic struct{ Kind Kind }
+
+var (
+	IntType     = &Basic{Int}
+	FloatType   = &Basic{Float}
+	BoolType    = &Basic{Bool}
+	VoidType    = &Basic{Void}
+	InvalidType = &Basic{Invalid}
+)
+
+// BasicOf returns the canonical Basic for a kind.
+func BasicOf(k Kind) *Basic {
+	switch k {
+	case Int:
+		return IntType
+	case Float:
+		return FloatType
+	case Bool:
+		return BoolType
+	case Void:
+		return VoidType
+	}
+	return InvalidType
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Void:
+		return "void"
+	}
+	return "invalid"
+}
+
+func (b *Basic) Equal(t Type) bool {
+	o, ok := t.(*Basic)
+	return ok && o.Kind == b.Kind
+}
+
+// IsNumeric reports whether b is int or float.
+func (b *Basic) IsNumeric() bool { return b.Kind == Int || b.Kind == Float }
+
+// Array is a fixed-size array type. Multi-dimensional arrays are arrays of
+// arrays; Elem of the innermost dimension is a scalar Basic.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+func (a *Array) String() string {
+	// Render int[3][4] style: collect dims outside-in.
+	dims := []int{a.Len}
+	elem := a.Elem
+	for {
+		inner, ok := elem.(*Array)
+		if !ok {
+			break
+		}
+		dims = append(dims, inner.Len)
+		elem = inner.Elem
+	}
+	var sb strings.Builder
+	sb.WriteString(elem.String())
+	for _, d := range dims {
+		fmt.Fprintf(&sb, "[%d]", d)
+	}
+	return sb.String()
+}
+
+func (a *Array) Equal(t Type) bool {
+	o, ok := t.(*Array)
+	return ok && o.Len == a.Len && a.Elem.Equal(o.Elem)
+}
+
+// ScalarElem returns the innermost element type of a (possibly nested) array.
+func (a *Array) ScalarElem() Type {
+	e := a.Elem
+	for {
+		inner, ok := e.(*Array)
+		if !ok {
+			return e
+		}
+		e = inner.Elem
+	}
+}
+
+// TotalLen returns the total number of scalar elements in the array.
+func (a *Array) TotalLen() int {
+	n := a.Len
+	e := a.Elem
+	for {
+		inner, ok := e.(*Array)
+		if !ok {
+			return n
+		}
+		n *= inner.Len
+		e = inner.Elem
+	}
+}
+
+// Func is a function signature.
+type Func struct {
+	Params []Type
+	Result Type // VoidType if none
+}
+
+func (f *Func) String() string {
+	var sb strings.Builder
+	sb.WriteString("function(")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(")")
+	if !f.Result.Equal(VoidType) {
+		sb.WriteString(": ")
+		sb.WriteString(f.Result.String())
+	}
+	return sb.String()
+}
+
+func (f *Func) Equal(t Type) bool {
+	o, ok := t.(*Func)
+	if !ok || len(o.Params) != len(f.Params) || !f.Result.Equal(o.Result) {
+		return false
+	}
+	for i := range f.Params {
+		if !f.Params[i].Equal(o.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsScalar reports whether t is int, float or bool.
+func IsScalar(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Int || b.Kind == Float || b.Kind == Bool)
+}
+
+// IsNumeric reports whether t is int or float.
+func IsNumeric(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.IsNumeric()
+}
+
+// IsInvalid reports whether t is the invalid type or nil. Checkers use the
+// invalid type to suppress cascading errors.
+func IsInvalid(t Type) bool {
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Invalid
+}
+
+// SizeWords returns the storage size of t in machine words. Scalars occupy
+// one word on the Warp cell (32-bit words); arrays occupy their total length.
+func SizeWords(t Type) int {
+	switch t := t.(type) {
+	case *Basic:
+		if t.Kind == Void || t.Kind == Invalid {
+			return 0
+		}
+		return 1
+	case *Array:
+		return t.TotalLen()
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicIdentity(t *testing.T) {
+	for _, k := range []Kind{Int, Float, Bool, Void, Invalid} {
+		b := BasicOf(k)
+		if b.Kind != k {
+			t.Errorf("BasicOf(%d).Kind = %d", k, b.Kind)
+		}
+		if !b.Equal(BasicOf(k)) {
+			t.Errorf("%s not equal to itself", b)
+		}
+	}
+	if IntType.Equal(FloatType) || BoolType.Equal(IntType) {
+		t.Error("distinct basics compare equal")
+	}
+	if BasicOf(Kind(99)) != InvalidType {
+		t.Error("unknown kind must map to invalid")
+	}
+}
+
+func TestBasicStrings(t *testing.T) {
+	cases := map[Type]string{
+		IntType: "int", FloatType: "float", BoolType: "bool", VoidType: "void", InvalidType: "invalid",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%v.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+func TestIsNumericScalar(t *testing.T) {
+	if !IntType.IsNumeric() || !FloatType.IsNumeric() || BoolType.IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if !IsScalar(IntType) || !IsScalar(BoolType) || IsScalar(VoidType) {
+		t.Error("IsScalar wrong")
+	}
+	arr := &Array{Elem: FloatType, Len: 3}
+	if IsScalar(arr) || IsNumeric(arr) {
+		t.Error("arrays are neither scalar nor numeric")
+	}
+	if !IsInvalid(nil) || !IsInvalid(InvalidType) || IsInvalid(IntType) {
+		t.Error("IsInvalid wrong")
+	}
+}
+
+func TestArrayStructure(t *testing.T) {
+	a := &Array{Elem: &Array{Elem: FloatType, Len: 4}, Len: 3}
+	if a.String() != "float[3][4]" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.TotalLen() != 12 {
+		t.Errorf("TotalLen = %d", a.TotalLen())
+	}
+	if !a.ScalarElem().Equal(FloatType) {
+		t.Errorf("ScalarElem = %v", a.ScalarElem())
+	}
+	same := &Array{Elem: &Array{Elem: FloatType, Len: 4}, Len: 3}
+	if !a.Equal(same) {
+		t.Error("structurally equal arrays compare unequal")
+	}
+	diffLen := &Array{Elem: &Array{Elem: FloatType, Len: 5}, Len: 3}
+	diffElem := &Array{Elem: &Array{Elem: IntType, Len: 4}, Len: 3}
+	if a.Equal(diffLen) || a.Equal(diffElem) || a.Equal(FloatType) {
+		t.Error("unequal arrays compare equal")
+	}
+}
+
+func TestFuncSignatures(t *testing.T) {
+	f := &Func{Params: []Type{IntType, FloatType}, Result: FloatType}
+	if f.String() != "function(int, float): float" {
+		t.Errorf("String = %q", f.String())
+	}
+	v := &Func{Result: VoidType}
+	if v.String() != "function()" {
+		t.Errorf("String = %q", v.String())
+	}
+	if !f.Equal(&Func{Params: []Type{IntType, FloatType}, Result: FloatType}) {
+		t.Error("equal signatures compare unequal")
+	}
+	if f.Equal(v) || f.Equal(&Func{Params: []Type{IntType, IntType}, Result: FloatType}) || f.Equal(IntType) {
+		t.Error("unequal signatures compare equal")
+	}
+}
+
+func TestSizeWords(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want int
+	}{
+		{IntType, 1}, {FloatType, 1}, {BoolType, 1},
+		{VoidType, 0}, {InvalidType, 0},
+		{&Array{Elem: FloatType, Len: 7}, 7},
+		{&Array{Elem: &Array{Elem: IntType, Len: 2}, Len: 5}, 10},
+		{&Func{Result: VoidType}, 0},
+	}
+	for _, c := range cases {
+		if got := SizeWords(c.ty); got != c.want {
+			t.Errorf("SizeWords(%v) = %d, want %d", c.ty, got, c.want)
+		}
+	}
+}
+
+// Property: nested array construction is associative in total length, and
+// Equal is reflexive for arbitrary nesting shapes.
+func TestArrayProperties(t *testing.T) {
+	f := func(dims []uint8) bool {
+		if len(dims) == 0 || len(dims) > 5 {
+			return true
+		}
+		var build func(i int) Type
+		build = func(i int) Type {
+			if i == len(dims) {
+				return FloatType
+			}
+			return &Array{Elem: build(i + 1), Len: int(dims[i]%9) + 1}
+		}
+		a := build(0).(*Array)
+		want := 1
+		for _, d := range dims {
+			want *= int(d%9) + 1
+		}
+		return a.TotalLen() == want && a.Equal(build(0)) && SizeWords(a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

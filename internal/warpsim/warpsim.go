@@ -1,0 +1,444 @@
+// Package warpsim is a cycle-level functional simulator for a linear array
+// of Warp-like cells executing linked download modules. It implements the
+// timing model the scheduler compiles for — per-unit latencies, pending
+// register writes that commit at issue+latency, blocking divide/sqrt — and
+// flow-controlled inter-cell queues.
+//
+// The two pathways of the real cell (X and Y) are collapsed into one
+// rightward stream per adjacent cell pair, which matches the language
+// semantics of the reference interpreter: receive reads the cell's input
+// stream, send appends to its output stream.
+package warpsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/link"
+	"repro/internal/machine"
+)
+
+// Config adjusts simulation limits.
+type Config struct {
+	// MaxCycles aborts runaway programs (default 10M).
+	MaxCycles int64
+	// QueueDepth overrides the inter-cell queue depth (default
+	// machine.QueueDepth).
+	QueueDepth int
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Cycles int64
+	// PerCell execution statistics.
+	Cells []CellStats
+}
+
+// CellStats counts one cell's activity.
+type CellStats struct {
+	Executed int64 // instruction words executed
+	Stalled  int64 // cycles stalled on queue flow control
+	Idle     int64 // cycles after halt
+}
+
+// Utilization returns the fraction of cycles the cell was executing.
+func (c CellStats) Utilization(total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Executed) / float64(total)
+}
+
+// TrapError is a runtime fault inside a cell.
+type TrapError struct {
+	Cell  int
+	PC    int
+	Cycle int64
+	Msg   string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("cell %d: trap at pc=%d cycle=%d: %s", e.Cell, e.PC, e.Cycle, e.Msg)
+}
+
+type pendingWrite struct {
+	reg machine.Reg
+	val machine.WordVal
+	at  int64
+	seq int64
+}
+
+type queue struct {
+	buf   []machine.WordVal
+	depth int
+}
+
+func (q *queue) empty() bool { return len(q.buf) == 0 }
+func (q *queue) full() bool  { return len(q.buf) >= q.depth }
+func (q *queue) push(v machine.WordVal) {
+	q.buf = append(q.buf, v)
+}
+func (q *queue) pop() machine.WordVal {
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	return v
+}
+
+type cell struct {
+	index   int
+	img     *link.CellImage
+	pc      int
+	regs    [machine.NumRegs]machine.WordVal
+	mem     []machine.WordVal
+	pend    []pendingWrite
+	seq     int64
+	retStk  []int
+	halted  bool
+	in, out *queue
+}
+
+// Array simulates the cells of a linked module.
+type Array struct {
+	cells  []*cell
+	queues []*queue // queues[i] feeds cells[i]; queues[len] is the output
+	cfg    Config
+	input  []machine.WordVal
+	fed    int
+	output []machine.WordVal
+}
+
+// NewArray builds a simulator for the module.
+func NewArray(m *link.Module, cfg Config) *Array {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 10_000_000
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = machine.QueueDepth
+	}
+	a := &Array{cfg: cfg}
+	n := len(m.Cells)
+	for i := 0; i <= n; i++ {
+		a.queues = append(a.queues, &queue{depth: cfg.QueueDepth})
+	}
+	for i, img := range m.Cells {
+		c := &cell{
+			index: i,
+			img:   img,
+			mem:   make([]machine.WordVal, img.DataWords),
+			in:    a.queues[i],
+			out:   a.queues[i+1],
+		}
+		c.pc = img.Entry
+		a.cells = append(a.cells, c)
+	}
+	return a
+}
+
+// Run feeds the input stream into the first cell, executes until every cell
+// halts, and returns the output stream from the last cell.
+func (a *Array) Run(input []machine.WordVal) ([]machine.WordVal, Stats, error) {
+	a.input = input
+	a.fed = 0
+	a.output = nil
+	stats := Stats{Cells: make([]CellStats, len(a.cells))}
+
+	for cycle := int64(0); ; cycle++ {
+		if cycle >= a.cfg.MaxCycles {
+			return nil, stats, fmt.Errorf("simulation exceeded %d cycles (livelock?)", a.cfg.MaxCycles)
+		}
+		progress := false
+
+		// Host feeds the first queue and drains the last.
+		if a.fed < len(a.input) && !a.queues[0].full() {
+			a.queues[0].push(a.input[a.fed])
+			a.fed++
+			progress = true
+		}
+		for !a.queues[len(a.queues)-1].empty() {
+			a.output = append(a.output, a.queues[len(a.queues)-1].pop())
+			progress = true
+		}
+
+		allHalted := true
+		for i, c := range a.cells {
+			committed := c.commit(cycle)
+			if committed {
+				progress = true
+			}
+			if c.halted {
+				stats.Cells[i].Idle++
+				continue
+			}
+			allHalted = false
+			ran, err := c.step(cycle)
+			if err != nil {
+				return nil, stats, err
+			}
+			if ran {
+				stats.Cells[i].Executed++
+				progress = true
+			} else {
+				stats.Cells[i].Stalled++
+			}
+		}
+		if allHalted {
+			// Final drain.
+			for !a.queues[len(a.queues)-1].empty() {
+				a.output = append(a.output, a.queues[len(a.queues)-1].pop())
+			}
+			stats.Cycles = cycle
+			return a.output, stats, nil
+		}
+		if !progress {
+			return nil, stats, fmt.Errorf("deadlock at cycle %d: all cells stalled", cycle)
+		}
+	}
+}
+
+// commit applies pending register writes due at this cycle, in issue order.
+func (c *cell) commit(cycle int64) bool {
+	if len(c.pend) == 0 {
+		return false
+	}
+	kept := c.pend[:0]
+	any := false
+	for _, w := range c.pend {
+		if w.at <= cycle {
+			if w.reg != machine.RZero {
+				c.regs[w.reg] = w.val
+			}
+			any = true
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.pend = kept
+	return any
+}
+
+// step executes the word at pc, or stalls. It reports whether it executed.
+func (c *cell) step(cycle int64) (bool, error) {
+	if c.pc < 0 || c.pc >= len(c.img.Code) {
+		return false, &TrapError{c.index, c.pc, cycle, "pc out of program memory"}
+	}
+	w := c.img.Code[c.pc]
+
+	// Flow control: the whole word stalls if any queue op cannot proceed.
+	for u := machine.Unit(0); u < machine.NumUnits; u++ {
+		switch w[u].Op {
+		case machine.RECVX, machine.RECVY:
+			if c.in.empty() {
+				return false, nil
+			}
+		case machine.SENDX, machine.SENDY:
+			if c.out.full() {
+				return false, nil
+			}
+		}
+	}
+
+	nextPC := c.pc + 1
+	for u := machine.Unit(0); u < machine.NumUnits; u++ {
+		in := w[u]
+		if in.Op == machine.NOP {
+			continue
+		}
+		info := machine.Info(in.Op)
+		if info.Unit != u {
+			return false, &TrapError{c.index, c.pc, cycle,
+				fmt.Sprintf("op %s encoded in wrong slot %s", info.Name, u)}
+		}
+		branch, target, err := c.exec(in, cycle)
+		if err != nil {
+			return false, err
+		}
+		if branch {
+			nextPC = target
+		}
+	}
+	c.pc = nextPC
+	return true, nil
+}
+
+// write schedules a register write committing at cycle+latency.
+func (c *cell) write(r machine.Reg, v machine.WordVal, cycle int64, lat int) {
+	c.seq++
+	c.pend = append(c.pend, pendingWrite{reg: r, val: v, at: cycle + int64(lat), seq: c.seq})
+}
+
+func (c *cell) read(r machine.Reg) machine.WordVal {
+	if r == machine.RZero {
+		return 0
+	}
+	return c.regs[r]
+}
+
+// exec performs one operation. For CTRL ops it returns the branch decision.
+func (c *cell) exec(in machine.Instr, cycle int64) (bool, int, error) {
+	info := machine.Info(in.Op)
+	a := c.read(in.A)
+	b := c.read(in.B)
+	trap := func(msg string) (bool, int, error) {
+		return false, 0, &TrapError{c.index, c.pc, cycle, msg}
+	}
+	out := func(v machine.WordVal) (bool, int, error) {
+		c.write(in.Dst, v, cycle, info.Latency)
+		return false, 0, nil
+	}
+	bw := machine.BoolWord
+
+	switch in.Op {
+	case machine.IADD:
+		return out(machine.IntWord(a.Int() + b.Int()))
+	case machine.ISUB:
+		return out(machine.IntWord(a.Int() - b.Int()))
+	case machine.IMUL:
+		return out(machine.IntWord(a.Int() * b.Int()))
+	case machine.IDIV:
+		if b.Int() == 0 {
+			return trap("integer division by zero")
+		}
+		return out(machine.IntWord(a.Int() / b.Int()))
+	case machine.IREM:
+		if b.Int() == 0 {
+			return trap("integer modulo by zero")
+		}
+		return out(machine.IntWord(a.Int() % b.Int()))
+	case machine.INEG:
+		return out(machine.IntWord(-a.Int()))
+	case machine.IABS:
+		v := a.Int()
+		if v < 0 {
+			v = -v
+		}
+		return out(machine.IntWord(v))
+	case machine.IMIN:
+		if a.Int() < b.Int() {
+			return out(a)
+		}
+		return out(b)
+	case machine.IMAX:
+		if a.Int() > b.Int() {
+			return out(a)
+		}
+		return out(b)
+	case machine.AND:
+		return out(a & b)
+	case machine.OR:
+		return out(a | b)
+	case machine.XOR:
+		return out(a ^ b)
+	case machine.NOT:
+		return out(bw(a == 0))
+	case machine.MOV:
+		return out(a)
+	case machine.LDI:
+		return out(machine.WordVal(uint32(in.Imm)))
+	case machine.ICMPEQ:
+		return out(bw(a.Int() == b.Int()))
+	case machine.ICMPNE:
+		return out(bw(a.Int() != b.Int()))
+	case machine.ICMPLT:
+		return out(bw(a.Int() < b.Int()))
+	case machine.ICMPLE:
+		return out(bw(a.Int() <= b.Int()))
+	case machine.ICMPGT:
+		return out(bw(a.Int() > b.Int()))
+	case machine.ICMPGE:
+		return out(bw(a.Int() >= b.Int()))
+
+	case machine.FADDOP:
+		return out(machine.FloatWord(a.Float() + b.Float()))
+	case machine.FSUBOP:
+		return out(machine.FloatWord(a.Float() - b.Float()))
+	case machine.FNEG:
+		return out(machine.FloatWord(-a.Float()))
+	case machine.FABS:
+		return out(machine.FloatWord(float32(math.Abs(float64(a.Float())))))
+	case machine.FMIN:
+		return out(machine.FloatWord(float32(math.Min(float64(a.Float()), float64(b.Float())))))
+	case machine.FMAX:
+		return out(machine.FloatWord(float32(math.Max(float64(a.Float()), float64(b.Float())))))
+	case machine.CVTIF:
+		return out(machine.FloatWord(float32(a.Int())))
+	case machine.CVTFI:
+		return out(machine.IntWord(int32(a.Float())))
+	case machine.FCMPEQ:
+		return out(bw(a.Float() == b.Float()))
+	case machine.FCMPNE:
+		return out(bw(a.Float() != b.Float()))
+	case machine.FCMPLT:
+		return out(bw(a.Float() < b.Float()))
+	case machine.FCMPLE:
+		return out(bw(a.Float() <= b.Float()))
+	case machine.FCMPGT:
+		return out(bw(a.Float() > b.Float()))
+	case machine.FCMPGE:
+		return out(bw(a.Float() >= b.Float()))
+
+	case machine.FMULOP:
+		return out(machine.FloatWord(a.Float() * b.Float()))
+	case machine.FDIV:
+		return out(machine.FloatWord(a.Float() / b.Float()))
+	case machine.FSQRT:
+		if a.Float() < 0 {
+			return trap("sqrt of negative value")
+		}
+		return out(machine.FloatWord(float32(math.Sqrt(float64(a.Float())))))
+
+	case machine.LOAD:
+		addr := int(a.Int()) + int(in.Imm)
+		if addr < 0 || addr >= len(c.mem) {
+			return trap(fmt.Sprintf("load address %d out of data memory [0,%d)", addr, len(c.mem)))
+		}
+		return out(c.mem[addr])
+	case machine.STORE:
+		addr := int(a.Int()) + int(in.Imm)
+		if addr < 0 || addr >= len(c.mem) {
+			return trap(fmt.Sprintf("store address %d out of data memory [0,%d)", addr, len(c.mem)))
+		}
+		// Stores commit at issue+1; modelled as immediate because the
+		// scheduler already separates stores from dependent loads by one
+		// cycle and the memory unit is the only reader.
+		c.mem[addr] = b
+		return false, 0, nil
+
+	case machine.JMP:
+		return true, int(in.Imm), nil
+	case machine.BT:
+		if a != 0 {
+			return true, int(in.Imm), nil
+		}
+		return false, 0, nil
+	case machine.BF:
+		if a == 0 {
+			return true, int(in.Imm), nil
+		}
+		return false, 0, nil
+	case machine.CALL:
+		if len(c.retStk) >= machine.ReturnStackDepth {
+			return trap("return stack overflow")
+		}
+		c.retStk = append(c.retStk, c.pc+1)
+		return true, int(in.Imm), nil
+	case machine.RET:
+		if len(c.retStk) == 0 {
+			return trap("return stack underflow")
+		}
+		t := c.retStk[len(c.retStk)-1]
+		c.retStk = c.retStk[:len(c.retStk)-1]
+		return true, t, nil
+	case machine.HALT:
+		c.halted = true
+		return false, 0, nil
+
+	case machine.RECVX, machine.RECVY:
+		v := c.in.pop()
+		c.write(in.Dst, v, cycle, info.Latency)
+		return false, 0, nil
+	case machine.SENDX, machine.SENDY:
+		c.out.push(a)
+		return false, 0, nil
+	}
+	return trap(fmt.Sprintf("unimplemented opcode %d", in.Op))
+}

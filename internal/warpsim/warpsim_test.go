@@ -1,0 +1,306 @@
+package warpsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/machine"
+)
+
+// img builds a hand-assembled cell image.
+func img(dataWords int, words ...machine.Word) *link.CellImage {
+	return &link.CellImage{Section: 1, Code: words, DataWords: dataWords, DataSyms: map[string]int{}}
+}
+
+func w(ins ...machine.Instr) machine.Word {
+	var word machine.Word
+	for _, in := range ins {
+		word[machine.Info(in.Op).Unit] = in
+	}
+	return word
+}
+
+func run(t *testing.T, m *link.Module, in []machine.WordVal) ([]machine.WordVal, Stats) {
+	t.Helper()
+	arr := NewArray(m, Config{MaxCycles: 100000})
+	out, st, err := arr.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+func TestBasicArithmeticAndLatency(t *testing.T) {
+	// r2 = 7; r3 = r2 + r2 (available after 1 cycle); send r3.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 7}),
+		w(machine.Instr{Op: machine.IADD, Dst: 3, A: 2, B: 2}),
+		w(), // wait one cycle for the add to commit
+		w(machine.Instr{Op: machine.CVTIF, Dst: 4, A: 3}),
+		w(), w(), w(), w(), // CVTIF latency 5
+		w(machine.Instr{Op: machine.SENDY, A: 4}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	out, _ := run(t, m, nil)
+	if len(out) != 1 || out[0].Float() != 14 {
+		t.Fatalf("got %v, want [14.0]", out)
+	}
+}
+
+func TestPendingWriteNotVisibleEarly(t *testing.T) {
+	// FADD has latency 5; reading its target the next cycle must see the
+	// OLD value, exactly as the scheduler assumes.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: int32(machine.FloatWord(1.0))}),
+		w(machine.Instr{Op: machine.LDI, Dst: 3, Imm: int32(machine.FloatWord(2.0))}),
+		w(machine.Instr{Op: machine.FADDOP, Dst: 4, A: 2, B: 3}), // r4 := 3.0 at +5
+		w(machine.Instr{Op: machine.SENDY, A: 4}),                // sends OLD r4 (0)
+		w(), w(), w(), w(),
+		w(machine.Instr{Op: machine.SENDY, A: 4}), // now committed: 3.0
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	out, _ := run(t, m, nil)
+	if len(out) != 2 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	if out[0].Float() != 0 {
+		t.Errorf("early read saw %g, want 0 (stale value)", out[0].Float())
+	}
+	if out[1].Float() != 3.0 {
+		t.Errorf("late read saw %g, want 3", out[1].Float())
+	}
+}
+
+func TestBranchingAndLoop(t *testing.T) {
+	// Count down from 5, sending each value: r2=5; loop: send r2; r2=r2-1;
+	// (wait for commit); bt r2>0 -> loop.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 5}),
+		w(machine.Instr{Op: machine.LDI, Dst: 3, Imm: 1}),
+		// loop (pc=2):
+		w(machine.Instr{Op: machine.SENDX, A: 2}, machine.Instr{Op: machine.ISUB, Dst: 2, A: 2, B: 3}),
+		w(machine.Instr{Op: machine.ICMPGT, Dst: 4, A: 2, B: 0}),
+		w(machine.Instr{Op: machine.BT, A: 4, Imm: 2}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	out, _ := run(t, m, nil)
+	want := []int32{5, 4, 3, 2, 1}
+	if len(out) != len(want) {
+		t.Fatalf("got %d outputs %v, want 5", len(out), out)
+	}
+	for i, v := range want {
+		if out[i].Int() != v {
+			t.Errorf("out[%d] = %d, want %d", i, out[i].Int(), v)
+		}
+	}
+}
+
+func TestMemoryAndTraps(t *testing.T) {
+	// Store then load with base addressing.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(8,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 3}),       // index
+		w(machine.Instr{Op: machine.LDI, Dst: 3, Imm: 42}),      // value
+		w(machine.Instr{Op: machine.STORE, A: 2, B: 3, Imm: 4}), // mem[3+4] = 42
+		w(machine.Instr{Op: machine.LOAD, Dst: 4, A: 2, Imm: 4}),
+		w(), w(),
+		w(machine.Instr{Op: machine.SENDY, A: 4}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	out, _ := run(t, m, nil)
+	if len(out) != 1 || out[0].Int() != 42 {
+		t.Fatalf("got %v, want [42]", out)
+	}
+}
+
+func TestTrapOnBadAddress(t *testing.T) {
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(4,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 100}),
+		w(machine.Instr{Op: machine.LOAD, Dst: 3, A: 2, Imm: 0}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	arr := NewArray(m, Config{MaxCycles: 1000})
+	_, _, err := arr.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "out of data memory") {
+		t.Errorf("expected address trap, got %v", err)
+	}
+}
+
+func TestTrapOnDivZero(t *testing.T) {
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 1}),
+		w(machine.Instr{Op: machine.IDIV, Dst: 3, A: 2, B: 0}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	arr := NewArray(m, Config{MaxCycles: 1000})
+	_, _, err := arr.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected div-zero trap, got %v", err)
+	}
+}
+
+func TestQueueStallAndFlow(t *testing.T) {
+	// Cell reads two inputs and emits their sum; the host feeds them.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+		w(machine.Instr{Op: machine.RECVX, Dst: 3}),
+		w(machine.Instr{Op: machine.FADDOP, Dst: 4, A: 2, B: 3}),
+		w(), w(), w(), w(),
+		w(machine.Instr{Op: machine.SENDY, A: 4}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	out, _ := run(t, m, []machine.WordVal{machine.FloatWord(1.25), machine.FloatWord(2.5)})
+	if len(out) != 1 || math.Abs(float64(out[0].Float())-3.75) > 1e-6 {
+		t.Fatalf("got %v, want [3.75]", out)
+	}
+}
+
+func TestBackpressureStallsSender(t *testing.T) {
+	// Cell 0 sends 4 values back to back into a depth-1 queue; cell 1 wastes
+	// cycles before each receive, so cell 0 must stall on flow control.
+	sender := img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 1}),
+		w(machine.Instr{Op: machine.SENDY, A: 2}),
+		w(machine.Instr{Op: machine.SENDY, A: 2}),
+		w(machine.Instr{Op: machine.SENDY, A: 2}),
+		w(machine.Instr{Op: machine.SENDY, A: 2}),
+		w(machine.Instr{Op: machine.HALT}),
+	)
+	receiver := img(0,
+		w(), w(), w(), w(), w(), w(), w(), w(),
+		w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+		w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+		w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+		w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+		w(machine.Instr{Op: machine.SENDY, A: 2}),
+		w(machine.Instr{Op: machine.HALT}),
+	)
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{sender, receiver}}
+	arr := NewArray(m, Config{MaxCycles: 10000, QueueDepth: 1})
+	_, st, err := arr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells[0].Stalled == 0 {
+		t.Error("sender should stall against the full depth-1 queue")
+	}
+}
+
+func TestTwoCellPipeline(t *testing.T) {
+	// Cell 0 adds 1 to each of 3 inputs; cell 1 doubles. Uses integer ops
+	// (latency 1) with one wait word.
+	mk := func(addImm int32, op machine.Opcode) *link.CellImage {
+		return img(0,
+			// r5 = loop counter 3, r6 = 1
+			w(machine.Instr{Op: machine.LDI, Dst: 5, Imm: 3}),
+			w(machine.Instr{Op: machine.LDI, Dst: 6, Imm: 1}),
+			w(machine.Instr{Op: machine.LDI, Dst: 7, Imm: addImm}),
+			// loop (pc=3): recv r2
+			w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+			w(), // wait for queue write commit
+			w(machine.Instr{Op: op, Dst: 3, A: 2, B: 7}),
+			w(machine.Instr{Op: machine.ISUB, Dst: 5, A: 5, B: 6}),
+			w(machine.Instr{Op: machine.ICMPGT, Dst: 4, A: 5, B: 0}),
+			w(), // wait for the value op (IMUL latency 3) to commit
+			w(machine.Instr{Op: machine.SENDY, A: 3}, machine.Instr{Op: machine.BT, A: 4, Imm: 3}),
+			w(machine.Instr{Op: machine.HALT}),
+		)
+	}
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{
+		mk(1, machine.IADD),
+		mk(2, machine.IMUL),
+	}}
+	in := []machine.WordVal{machine.IntWord(10), machine.IntWord(20), machine.IntWord(30)}
+	out, _ := run(t, m, in)
+	want := []int32{22, 42, 62}
+	if len(out) != 3 {
+		t.Fatalf("got %v", out)
+	}
+	for i, v := range want {
+		if out[i].Int() != v {
+			t.Errorf("out[%d] = %d, want %d", i, out[i].Int(), v)
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// CALL pushes the return address; RET pops it.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 11}),
+		w(machine.Instr{Op: machine.CALL, Imm: 4}),
+		w(machine.Instr{Op: machine.SENDY, A: 3}),
+		w(machine.Instr{Op: machine.HALT}),
+		// subroutine at 4: r3 = r2 + r2; ret
+		w(machine.Instr{Op: machine.IADD, Dst: 3, A: 2, B: 2}),
+		w(machine.Instr{Op: machine.RET}),
+	)}}
+	out, _ := run(t, m, nil)
+	if len(out) != 1 || out[0].Int() != 22 {
+		t.Fatalf("got %v, want [22]", out)
+	}
+}
+
+func TestRetUnderflowTrap(t *testing.T) {
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.RET}),
+	)}}
+	arr := NewArray(m, Config{MaxCycles: 100})
+	_, _, err := arr.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("expected underflow trap, got %v", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// A cell that receives with no input ever arriving.
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.RECVX, Dst: 2}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	arr := NewArray(m, Config{MaxCycles: 100000})
+	_, _, err := arr.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock, got %v", err)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 0, Imm: 99}),
+		w(),
+		w(machine.Instr{Op: machine.IADD, Dst: 2, A: 0, B: 0}),
+		w(),
+		w(machine.Instr{Op: machine.SENDY, A: 2}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	out, _ := run(t, m, nil)
+	if out[0].Int() != 0 {
+		t.Errorf("r0 was written: got %d", out[0].Int())
+	}
+}
+
+func TestWrongSlotTrap(t *testing.T) {
+	var word machine.Word
+	word[machine.FADD] = machine.Instr{Op: machine.IADD, Dst: 2, A: 0, B: 0} // ALU op in FADD slot
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0, word)}}
+	arr := NewArray(m, Config{MaxCycles: 100})
+	_, _, err := arr.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "wrong slot") {
+		t.Errorf("expected wrong-slot trap, got %v", err)
+	}
+}
+
+func TestUtilizationStats(t *testing.T) {
+	m := &link.Module{Name: "t", Cells: []*link.CellImage{img(0,
+		w(machine.Instr{Op: machine.LDI, Dst: 2, Imm: 1}),
+		w(machine.Instr{Op: machine.HALT}),
+	)}}
+	_, st := run(t, m, nil)
+	if st.Cells[0].Executed != 2 {
+		t.Errorf("executed = %d, want 2", st.Cells[0].Executed)
+	}
+	if u := st.Cells[0].Utilization(st.Cycles + 1); u <= 0 || u > 1 {
+		t.Errorf("utilization %g out of range", u)
+	}
+}

@@ -1,0 +1,203 @@
+package wgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/warpsim"
+)
+
+func TestSizesAndNames(t *testing.T) {
+	wantLines := []int{4, 35, 100, 280, 360}
+	wantNames := []string{"f_tiny", "f_small", "f_medium", "f_large", "f_huge"}
+	for i, s := range Sizes {
+		if s.Lines() != wantLines[i] {
+			t.Errorf("%s lines = %d, want %d", s, s.Lines(), wantLines[i])
+		}
+		if s.String() != wantNames[i] {
+			t.Errorf("size %d name = %s, want %s", i, s, wantNames[i])
+		}
+	}
+}
+
+func TestFunctionDeterministic(t *testing.T) {
+	a := Function("f", Medium, 42)
+	b := Function("f", Medium, 42)
+	if a != b {
+		t.Error("generator is not deterministic")
+	}
+	c := Function("f", Medium, 43)
+	if a == c {
+		t.Error("different seeds should give different functions")
+	}
+}
+
+func TestFunctionSizesApproximateTargets(t *testing.T) {
+	for _, s := range Sizes {
+		fn := Function("probe", s, 7)
+		lines := strings.Count(fn, "\n")
+		lo, hi := s.Lines()-s.Lines()/5-2, s.Lines()+s.Lines()/5+2
+		if lines < lo || lines > hi {
+			t.Errorf("%s: generated %d lines, want within [%d, %d]", s, lines, lo, hi)
+		}
+	}
+}
+
+func TestSyntheticProgramsParseAndCheck(t *testing.T) {
+	for _, s := range Sizes {
+		for _, n := range []int{1, 2, 4, 8} {
+			src := SyntheticProgram(s, n)
+			var bag source.DiagBag
+			o := parser.ParseOutline("gen.w2", src, &bag)
+			if bag.HasErrors() || o == nil {
+				t.Fatalf("%s n=%d: %s\n%s", s, n, bag.String(), src)
+			}
+			if o.NumFunctions() != n {
+				t.Errorf("%s n=%d: outline has %d functions", s, n, o.NumFunctions())
+			}
+			_, _, bag2 := compiler.Frontend("gen.w2", src)
+			if bag2.HasErrors() {
+				t.Fatalf("%s n=%d: semantic errors:\n%s", s, n, bag2.String())
+			}
+		}
+	}
+}
+
+func TestSyntheticProgramCompilesAndRuns(t *testing.T) {
+	// Compile and actually execute S_2 of f_small on the array simulator:
+	// two sends expected (one per... only the entry runs, so one send).
+	src := SyntheticProgram(Small, 2)
+	res, err := compiler.CompileModule("s2.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	arr := warpsim.NewArray(res.Module, warpsim.Config{MaxCycles: 5_000_000})
+	out, _, err := arr.Run(nil)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("entry should send exactly one result, got %d", len(out))
+	}
+}
+
+func TestTinyProgramRuns(t *testing.T) {
+	src := SyntheticProgram(Tiny, 1)
+	res, err := compiler.CompileModule("t.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := warpsim.NewArray(res.Module, warpsim.Config{})
+	out, _, err := arr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.5*2.5 + 0.5
+	if len(out) != 1 || out[0].Float() != float32(want) {
+		t.Errorf("got %v, want [%g]", out, want)
+	}
+}
+
+func TestMultiSectionProgram(t *testing.T) {
+	src := MultiSectionProgram(Small, 3)
+	res, err := compiler.CompileModule("ms.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	if len(res.Module.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(res.Module.Cells))
+	}
+	arr := warpsim.NewArray(res.Module, warpsim.Config{MaxCycles: 5_000_000})
+	out, _, err := arr.Run(nil)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if len(out) != 3 {
+		t.Errorf("each of 3 sections should contribute one output, got %d", len(out))
+	}
+}
+
+func TestUserProgramStructure(t *testing.T) {
+	src := UserProgram()
+	var bag source.DiagBag
+	o := parser.ParseOutline("user.w2", src, &bag)
+	if bag.HasErrors() || o == nil {
+		t.Fatalf("user program does not parse:\n%s", bag.String())
+	}
+	if len(o.Sections) != 3 || o.NumFunctions() != 9 {
+		t.Fatalf("structure = %d sections / %d functions, want 3/9", len(o.Sections), o.NumFunctions())
+	}
+	// Sizes per §4.3: six functions of 5–45 lines, three of ~300.
+	var small, large int
+	for _, f := range o.AllFunctions() {
+		switch {
+		case f.Lines >= 4 && f.Lines <= 50:
+			small++
+		case f.Lines >= 240 && f.Lines <= 360:
+			large++
+		default:
+			t.Errorf("function %s has unexpected size %d", f.Name, f.Lines)
+		}
+	}
+	if small != 6 || large != 3 {
+		t.Errorf("small=%d large=%d, want 6/3", small, large)
+	}
+	// And it must compile.
+	if _, err := compiler.CompileModule("user.w2", src, compiler.Options{}); err != nil {
+		t.Fatalf("user program does not compile: %v", err)
+	}
+}
+
+func TestGeneratedWorkGrowsWithSize(t *testing.T) {
+	// Compile work (measured in machine ops emitted) must grow strictly
+	// with the nominal size — the property all the speedup curves rest on.
+	var prev int
+	for _, s := range Sizes {
+		src := SyntheticProgram(s, 1)
+		res, err := compiler.CompileModule("g.w2", src, compiler.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		ops := res.Funcs[0].GenStats.MachineOps
+		if ops <= prev {
+			t.Errorf("%s: machine ops %d not larger than previous size (%d)", s, ops, prev)
+		}
+		prev = ops
+	}
+}
+
+// TestPipelinedGeneratedCodeMatchesUnpipelined compiles a generated program
+// with and without software pipelining and requires identical simulator
+// output — the strongest correctness check on the pipeliner over realistic
+// kernels.
+func TestPipelinedGeneratedCodeMatchesUnpipelined(t *testing.T) {
+	for _, size := range []Size{Small, Medium} {
+		src := SyntheticProgram(size, 1)
+		run := func(opts compiler.Options) []float64 {
+			res, err := compiler.CompileModule("d.w2", src, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", size, err)
+			}
+			arr := warpsim.NewArray(res.Module, warpsim.Config{MaxCycles: 50_000_000})
+			words, _, err := arr.Run(nil)
+			if err != nil {
+				t.Fatalf("%s: %v", size, err)
+			}
+			return res.Driver.DecodeOutput(words)
+		}
+		full := run(compiler.Options{})
+		plain := run(compiler.Options{Codegen: codegen.Options{DisablePipelining: true}})
+		if len(full) != len(plain) {
+			t.Fatalf("%s: output lengths differ: %d vs %d", size, len(full), len(plain))
+		}
+		for i := range full {
+			if full[i] != plain[i] {
+				t.Errorf("%s: out[%d] differs: pipelined %g vs plain %g", size, i, full[i], plain[i])
+			}
+		}
+	}
+}
