@@ -178,11 +178,28 @@ func BenchmarkRealCompile(b *testing.B) {
 	}
 }
 
+// BenchmarkRealParallelCompile measures the real parallel compiler, cached
+// and uncached. The cached pool lives across iterations, so after the first
+// build every function master hits the content-addressed frontend/IR cache —
+// the redundant parse/check/lower work the uncached variant repeats N·F
+// times is the difference between the two series.
 func BenchmarkRealParallelCompile(b *testing.B) {
 	src := wgen.UserProgram()
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			pool := cluster.NewLocalPool(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ParallelCompile("bench.w2", src, pool, compiler.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := pool.CacheStats()
+			b.ReportMetric(float64(s.Hits()), "cache_hits")
+		})
+		b.Run(fmt.Sprintf("workers-%d-uncached", workers), func(b *testing.B) {
+			pool := cluster.NewLocalPoolWith(workers, nil)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.ParallelCompile("bench.w2", src, pool, compiler.Options{}); err != nil {

@@ -45,6 +45,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "verify parallel output against sequential")
 		noPipeline = flag.Bool("no-pipeline", false, "disable software pipelining")
 		noSched    = flag.Bool("no-sched", false, "disable instruction scheduling")
+		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
 		showStats  = flag.Bool("stats", false, "print per-function statistics")
 	)
 	flag.Parse()
@@ -69,12 +70,18 @@ func main() {
 	case "seq":
 		res, err = compiler.CompileModule(file, src, opts)
 	case "par":
-		pool := cluster.NewLocalPool(*jobs)
+		var pool *cluster.LocalPool
+		if *noCache {
+			pool = cluster.NewLocalPoolWith(*jobs, nil)
+		} else {
+			pool = cluster.NewLocalPool(*jobs)
+		}
 		var pstats *core.ParallelStats
 		res, pstats, err = core.ParallelCompile(file, src, pool, opts)
 		if err == nil && *showStats {
 			fmt.Printf("parallel: %d workers, elapsed %v, setup %v\n",
 				pstats.Workers, pstats.Elapsed.Round(1000), pstats.SetupTime.Round(1000))
+			fmt.Printf("cache: %s\n", pstats.Cache)
 		}
 	case "rpc":
 		if *workers == "" {
@@ -85,12 +92,22 @@ func main() {
 			fatal(derr)
 		}
 		defer pool.Close()
-		res, _, err = core.ParallelCompile(file, src, pool, opts)
+		var pstats *core.ParallelStats
+		res, pstats, err = core.ParallelCompile(file, src, pool, opts)
+		if err == nil && *showStats {
+			fmt.Printf("cache: %s\n", pstats.Cache)
+		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	// The combined diagnostic output (the paper's master prints what the
+	// section masters merged).
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, w)
 	}
 
 	fmt.Printf("compiled module %s: %d section(s), %d function(s), %d instruction words\n",

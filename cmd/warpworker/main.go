@@ -1,10 +1,13 @@
 // Command warpworker is a compile worker ("workstation daemon"): it serves
 // function-compilation requests from warpcc -mode rpc over net/rpc, one at
-// a time, like the single-CPU SUN workstations of the measured system.
+// a time, like the single-CPU SUN workstations of the measured system. It
+// keeps a per-process content-addressed artifact cache so repeated requests
+// against the same module source skip parsing, checking, and lowering, and
+// masters can send a 32-byte hash instead of the whole source.
 //
 // Usage:
 //
-//	warpworker [-addr host:port]
+//	warpworker [-addr host:port] [-cache-mb N]
 package main
 
 import (
@@ -17,9 +20,14 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
+	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default, negative = disable caching)")
 	flag.Parse()
 
-	ln, bound, err := cluster.ServeWorker(*addr)
+	cacheBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	ln, bound, err := cluster.ServeWorkerWith(*addr, cacheBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "warpworker:", err)
 		os.Exit(1)

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/fcache"
+	"repro/internal/wgen"
+)
+
+// verifyAgainstSequential compiles src through the backend twice (cold and
+// warm cache) and checks both outputs word-identical to the sequential
+// compiler — the paper's correctness bar, now with caching in the loop.
+func verifyAgainstSequential(t *testing.T, name string, src []byte, backend core.Backend) {
+	t.Helper()
+	seq, err := compiler.CompileModule(name, src, compiler.Options{})
+	if err != nil {
+		t.Fatalf("%s: sequential: %v", name, err)
+	}
+	for pass, label := range []string{"cold", "warm"} {
+		par, _, err := core.ParallelCompile(name, src, backend, compiler.Options{})
+		if err != nil {
+			t.Fatalf("%s: parallel (%s): %v", name, label, err)
+		}
+		if err := core.VerifySameOutput(seq.Module, par.Module); err != nil {
+			t.Errorf("%s: %s-cache output differs from sequential (pass %d): %v", name, label, pass, err)
+		}
+	}
+}
+
+// TestCachedLocalPoolMatchesSequential covers the acceptance matrix for the
+// in-process pool: the user program plus one synthetic program per wgen
+// size, all through one shared cache.
+func TestCachedLocalPoolMatchesSequential(t *testing.T) {
+	pool := NewLocalPool(4)
+	verifyAgainstSequential(t, "user.w2", wgen.UserProgram(), pool)
+	for _, size := range wgen.Sizes {
+		verifyAgainstSequential(t, "gen-"+size.String()+".w2", wgen.SyntheticProgram(size, 1), pool)
+	}
+	s := pool.CacheStats()
+	if s.Hits() == 0 {
+		t.Errorf("shared cache recorded no hits across the matrix: %s", s)
+	}
+	if s.FrontendHits == 0 || s.IRHits == 0 {
+		t.Errorf("expected hits in both tiers, got %s", s)
+	}
+}
+
+// TestCachedRPCPoolMatchesSequential does the same over real net/rpc
+// workers, and additionally checks the wire-level win: after the first
+// request per (worker, module), masters send hashes instead of source.
+func TestCachedRPCPoolMatchesSequential(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		ln, addr, err := ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs = append(addrs, addr)
+	}
+	pool, err := DialPool(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	verifyAgainstSequential(t, "user.w2", wgen.UserProgram(), pool)
+	for _, size := range wgen.Sizes {
+		verifyAgainstSequential(t, "gen-"+size.String()+".w2", wgen.SyntheticProgram(size, 1), pool)
+	}
+
+	s := pool.CacheStats()
+	if s.Hits() == 0 {
+		t.Errorf("worker caches recorded no hits: %s", s)
+	}
+	if s.RPCBytesSaved == 0 {
+		t.Error("no RPC bytes saved — hash-only requests never happened")
+	}
+}
+
+// TestParallelStatsReportCacheCounters: ParallelCompile must surface the
+// backend's cache effectiveness in its stats.
+func TestParallelStatsReportCacheCounters(t *testing.T) {
+	pool := NewLocalPool(4)
+	src := wgen.UserProgram()
+	if _, _, err := core.ParallelCompile("user.w2", src, pool, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := core.ParallelCompile("user.w2", src, pool, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits() == 0 {
+		t.Errorf("warm recompile reported no cache hits: %s", stats.Cache)
+	}
+}
+
+// TestWorkerKilledMidCompile kills the only worker and checks that both the
+// pool and a full parallel compile fail cleanly (no hang, no corrupt
+// output) — the distributed system's failure story.
+func TestWorkerKilledMidCompile(t *testing.T) {
+	ln, addr, err := ServeWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := DialPool([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	src := wgen.UserProgram()
+	// One request succeeds while the worker lives.
+	if _, err := pool.Compile(core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
+		t.Fatalf("healthy worker failed: %v", err)
+	}
+
+	// Kill the worker: the listener wrapper severs live connections too.
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := core.ParallelCompile("user.w2", src, pool, compiler.Options{})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("parallel compile succeeded against a dead worker")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("section master hung after worker death")
+	}
+
+	// Direct requests must also fail fast now.
+	if _, err := pool.Compile(core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err == nil {
+		t.Error("pool.Compile succeeded against a dead worker")
+	}
+}
+
+// TestUncachedWorkerFallback: a worker running with caching disabled must
+// still serve a caching pool — the pool falls back to sending full source.
+func TestUncachedWorkerFallback(t *testing.T) {
+	ln, addr, err := ServeWorkerWith("127.0.0.1:0", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	pool, err := DialPool([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	verifyAgainstSequential(t, "user.w2", wgen.UserProgram(), pool)
+	if s := pool.CacheStats(); s.RPCBytesSaved != 0 {
+		t.Errorf("bytes marked saved against an uncached worker: %s", s)
+	}
+}
+
+// TestStoreSourceVerifiesHash: a worker must reject a source push whose
+// content does not match its claimed address.
+func TestStoreSourceVerifiesHash(t *testing.T) {
+	w := NewWorker(0)
+	good := []byte("module m\nsection 1 { function f() { return; } }\n")
+	blob := SourceBlob{Hash: fcache.HashSource(good), Source: []byte("tampered")}
+	var resp bool
+	if err := w.StoreSource(blob, &resp); err == nil {
+		t.Error("mismatched source blob accepted")
+	}
+	blob.Source = good
+	if err := w.StoreSource(blob, &resp); err != nil {
+		t.Errorf("valid source blob rejected: %v", err)
+	}
+}

@@ -8,60 +8,158 @@
 //   - RPCPool:   worker processes reached over net/rpc — genuinely separate
 //     address spaces connected by a byte stream, the closest stdlib
 //     equivalent of the paper's message-passing UNIX processes.
+//
+// Both backends are cached (internal/fcache). The LocalPool shares one
+// cache between the master and all workers, so a module is parsed and
+// type-checked once per compilation instead of once per function. Each RPC
+// worker keeps a per-process cache and a source store: section masters push
+// the module source to a worker once (Worker.StoreSource, the shared-file-
+// server analog) and afterwards send only its 32-byte content hash, so
+// per-request wire bytes drop from O(|source|) to O(1).
 package cluster
 
 import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fcache"
 )
 
-// LocalPool runs function masters on a fixed number of in-process workers.
+// LocalPool runs function masters on a fixed number of in-process workers
+// sharing one artifact cache.
 type LocalPool struct {
-	sem chan struct{}
-	n   int
+	sem   chan struct{}
+	n     int
+	cache *fcache.Cache
 }
 
-// NewLocalPool returns a pool of n workers (n < 1 is treated as 1).
+// NewLocalPool returns a pool of n workers (n < 1 is treated as 1) sharing
+// a default-sized artifact cache.
 func NewLocalPool(n int) *LocalPool {
+	return NewLocalPoolWith(n, fcache.New(fcache.DefaultMaxBytes))
+}
+
+// NewLocalPoolWith returns a pool of n workers using the given cache. A nil
+// cache yields the paper's original re-derive-everything workers.
+func NewLocalPoolWith(n int, cache *fcache.Cache) *LocalPool {
 	if n < 1 {
 		n = 1
 	}
-	return &LocalPool{sem: make(chan struct{}, n), n: n}
+	return &LocalPool{sem: make(chan struct{}, n), n: n, cache: cache}
 }
 
 // Workers returns the pool size.
 func (p *LocalPool) Workers() int { return p.n }
+
+// Cache exposes the shared cache (nil when uncached) so the master can warm
+// the frontend tier during its own phase 1.
+func (p *LocalPool) Cache() *fcache.Cache { return p.cache }
+
+// CacheStats reports the shared cache's counters.
+func (p *LocalPool) CacheStats() fcache.Stats { return p.cache.Stats() }
 
 // Compile runs the request on the next free worker, blocking until one is
 // available — exactly the FCFS placement of the paper.
 func (p *LocalPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
-	return core.RunFunctionMaster(req)
+	return core.RunFunctionMasterWith(req, p.cache)
 }
 
 // ---------------------------------------------------------------------------
 // RPC worker (the "workstation" daemon)
 
-// Worker is the RPC service run by each workstation process. Each worker
-// compiles one function at a time, like a single-CPU SUN.
-type Worker struct {
-	mu sync.Mutex
+// missingSourceMsg marks the error a worker returns for a hash-only request
+// whose source is not resident; pools react by pushing the source and
+// retrying. It crosses the net/rpc boundary as a string, so detection is by
+// substring (IsMissingSource).
+const missingSourceMsg = "worker: source not resident for hash"
+
+// IsMissingSource reports whether err is a worker's source-not-resident
+// error.
+func IsMissingSource(err error) bool {
+	return err != nil && strings.Contains(err.Error(), missingSourceMsg)
 }
 
-// Compile is the RPC method invoked by section masters.
+// cacheDisabledMsg marks the error an uncached worker returns for
+// StoreSource; pools fall back to sending the full source every request.
+const cacheDisabledMsg = "worker: caching disabled"
+
+// IsCacheDisabled reports whether err is a worker's caching-disabled error.
+func IsCacheDisabled(err error) bool {
+	return err != nil && strings.Contains(err.Error(), cacheDisabledMsg)
+}
+
+// SourceBlob is the Worker.StoreSource argument: module source plus its
+// content address.
+type SourceBlob struct {
+	Hash   fcache.SourceHash
+	Source []byte
+}
+
+// Worker is the RPC service run by each workstation process. Each worker
+// compiles one function at a time, like a single-CPU SUN, but keeps a
+// per-process artifact cache across requests.
+type Worker struct {
+	mu    sync.Mutex
+	cache *fcache.Cache
+}
+
+// NewWorker returns a worker with a cache bounded to cacheBytes
+// (cacheBytes < 0 disables caching; 0 selects the default budget).
+func NewWorker(cacheBytes int64) *Worker {
+	if cacheBytes < 0 {
+		return &Worker{}
+	}
+	return &Worker{cache: fcache.New(cacheBytes)}
+}
+
+// Compile is the RPC method invoked by section masters. Requests may omit
+// the source when the worker already holds it (content-addressed by
+// req.SourceHash).
 func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	r, err := core.RunFunctionMaster(req)
+	if len(req.Source) == 0 {
+		src, ok := w.cache.Source(req.SourceHash)
+		if !ok {
+			return fmt.Errorf("%s %s", missingSourceMsg, req.SourceHash)
+		}
+		req.Source = src
+	} else if !req.SourceHash.IsZero() {
+		w.cache.PutSource(req.SourceHash, req.Source)
+	}
+	r, err := core.RunFunctionMasterWith(req, w.cache)
 	if err != nil {
 		return err
 	}
 	*reply = *r
+	return nil
+}
+
+// StoreSource installs module source in the worker's source store, keyed by
+// content. The hash is verified so a corrupted or misaddressed blob can
+// never poison the cache.
+func (w *Worker) StoreSource(blob SourceBlob, ok *bool) error {
+	if w.cache == nil {
+		return fmt.Errorf("%s", cacheDisabledMsg)
+	}
+	if got := fcache.HashSource(blob.Source); got != blob.Hash {
+		return fmt.Errorf("worker: source blob hash mismatch: got %s, want %s", got, blob.Hash)
+	}
+	w.cache.PutSource(blob.Hash, blob.Source)
+	*ok = true
+	return nil
+}
+
+// CacheStats reports the worker's cache counters. It deliberately does not
+// take the compile lock: stats stay available mid-compile.
+func (w *Worker) CacheStats(_ struct{}, out *fcache.Stats) error {
+	*out = w.cache.Stats()
 	return nil
 }
 
@@ -71,34 +169,90 @@ func (w *Worker) Ping(_ struct{}, ok *bool) error {
 	return nil
 }
 
+// workerListener tracks accepted connections so closing the listener also
+// severs in-flight sessions — killing a worker kills its conversations, as
+// a real workstation crash would, instead of leaving masters hanging.
+type workerListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func (l *workerListener) track(c net.Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.conns[c] = struct{}{}
+}
+
+func (l *workerListener) untrack(c net.Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.conns, c)
+}
+
+// Close stops accepting and closes every live connection.
+func (l *workerListener) Close() error {
+	err := l.Listener.Close()
+	l.mu.Lock()
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = make(map[net.Conn]struct{})
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
 // ServeWorker listens on addr (e.g. "127.0.0.1:0") and serves compile
-// requests until the listener is closed. It returns the bound address.
+// requests with a default-sized per-process cache until the listener is
+// closed. It returns the bound address.
 func ServeWorker(addr string) (net.Listener, string, error) {
+	return ServeWorkerWith(addr, 0)
+}
+
+// ServeWorkerWith is ServeWorker with an explicit cache budget in bytes
+// (0 selects the default; negative disables caching).
+func ServeWorkerWith(addr string, cacheBytes int64) (net.Listener, string, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", &Worker{}); err != nil {
+	if err := srv.RegisterName("Worker", NewWorker(cacheBytes)); err != nil {
 		return nil, "", err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
+	wl := &workerListener{Listener: ln, conns: make(map[net.Conn]struct{})}
 	go func() {
 		for {
-			conn, err := ln.Accept()
+			conn, err := wl.Accept()
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			wl.track(conn)
+			go func() {
+				srv.ServeConn(conn)
+				wl.untrack(conn)
+			}()
 		}
 	}()
-	return ln, ln.Addr().String(), nil
+	return wl, ln.Addr().String(), nil
 }
 
 // RPCPool dispatches compile requests to remote workers over net/rpc with
-// FCFS placement: a request takes the first worker that frees up.
+// FCFS placement: a request takes the first worker that frees up. The pool
+// remembers which workers hold which sources and sends hash-only requests
+// whenever it can.
 type RPCPool struct {
 	clients []*rpc.Client
 	free    chan *rpc.Client
+
+	mu         sync.Mutex
+	has        map[*rpc.Client]map[fcache.SourceHash]bool
+	noCache    map[*rpc.Client]bool
+	bytesSaved int64
 }
 
 // DialPool connects to the given worker addresses.
@@ -106,7 +260,11 @@ func DialPool(addrs []string) (*RPCPool, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no worker addresses")
 	}
-	p := &RPCPool{free: make(chan *rpc.Client, len(addrs))}
+	p := &RPCPool{
+		free:    make(chan *rpc.Client, len(addrs)),
+		has:     make(map[*rpc.Client]map[fcache.SourceHash]bool),
+		noCache: make(map[*rpc.Client]bool),
+	}
 	for _, a := range addrs {
 		c, err := rpc.Dial("tcp", a)
 		if err != nil {
@@ -119,6 +277,7 @@ func DialPool(addrs []string) (*RPCPool, error) {
 			return nil, fmt.Errorf("cluster: worker %s not responding: %v", a, err)
 		}
 		p.clients = append(p.clients, c)
+		p.has[c] = make(map[fcache.SourceHash]bool)
 		p.free <- c
 	}
 	return p, nil
@@ -127,15 +286,114 @@ func DialPool(addrs []string) (*RPCPool, error) {
 // Workers returns the number of connected workers.
 func (p *RPCPool) Workers() int { return len(p.clients) }
 
-// Compile sends the request to the next free worker.
+// knows reports whether c is believed to hold the source for h.
+func (p *RPCPool) knows(c *rpc.Client, h fcache.SourceHash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.has[c][h]
+}
+
+// push installs the source on worker c and records that it holds it.
+func (p *RPCPool) push(c *rpc.Client, h fcache.SourceHash, src []byte) error {
+	var ok bool
+	if err := c.Call("Worker.StoreSource", SourceBlob{Hash: h, Source: src}, &ok); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.has[c] != nil {
+		p.has[c][h] = true
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Compile sends the request to the next free worker. The source is pushed
+// at most once per (worker, module); every later request carries only the
+// content hash — the paper's workstations likewise fetched the source from
+// the shared file server rather than receiving it in each message.
 func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
 	c := <-p.free
 	defer func() { p.free <- c }()
+
+	src := req.Source
+	if req.SourceHash.IsZero() && len(src) > 0 {
+		req.SourceHash = fcache.HashSource(src)
+	}
+	h := req.SourceHash
+
+	// Decide whether this request can travel hash-only.
+	lean, saved := false, false
+	if len(src) > 0 && !p.cacheDisabled(c) {
+		if p.knows(c, h) {
+			lean, saved = true, true
+		} else {
+			switch err := p.push(c, h, src); {
+			case err == nil:
+				lean = true
+			case IsCacheDisabled(err):
+				p.markCacheDisabled(c)
+			default:
+				return nil, err
+			}
+		}
+	}
+
+	send := req
+	if lean {
+		send.Source = nil
+	}
 	var reply core.CompileReply
-	if err := c.Call("Worker.Compile", req, &reply); err != nil {
+	err := c.Call("Worker.Compile", send, &reply)
+	if lean && IsMissingSource(err) {
+		// The worker evicted the source between our push and its lookup:
+		// re-push and retry once with the full source for good measure.
+		saved = false
+		if perr := p.push(c, h, src); perr != nil && !IsCacheDisabled(perr) {
+			return nil, perr
+		}
+		reply = core.CompileReply{}
+		err = c.Call("Worker.Compile", req, &reply)
+	}
+	if err != nil {
 		return nil, err
 	}
+	if saved {
+		p.mu.Lock()
+		p.bytesSaved += int64(len(src))
+		p.mu.Unlock()
+	}
 	return &reply, nil
+}
+
+// cacheDisabled reports whether worker c rejected caching.
+func (p *RPCPool) cacheDisabled(c *rpc.Client) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.noCache[c]
+}
+
+// markCacheDisabled remembers that worker c is uncached, so the pool sends
+// it the full source from then on.
+func (p *RPCPool) markCacheDisabled(c *rpc.Client) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noCache[c] = true
+}
+
+// CacheStats aggregates the workers' cache counters and adds the pool's own
+// wire savings. Workers that cannot be reached contribute nothing.
+func (p *RPCPool) CacheStats() fcache.Stats {
+	var s fcache.Stats
+	for _, c := range p.clients {
+		var ws fcache.Stats
+		if err := c.Call("Worker.CacheStats", struct{}{}, &ws); err == nil {
+			s.Add(ws)
+		}
+	}
+	p.mu.Lock()
+	s.RPCBytesSaved += p.bytesSaved
+	p.mu.Unlock()
+	return s
 }
 
 // Close tears down all connections.
@@ -148,3 +406,6 @@ func (p *RPCPool) Close() {
 
 var _ core.Backend = (*LocalPool)(nil)
 var _ core.Backend = (*RPCPool)(nil)
+var _ core.CacheProvider = (*LocalPool)(nil)
+var _ core.CacheStatser = (*LocalPool)(nil)
+var _ core.CacheStatser = (*RPCPool)(nil)

@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fcache"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/wgen"
+)
+
+// TestDuplicateSectionRejected: sem.Check normally rejects duplicate section
+// indices, but CompileFunction must not silently pick one if handed such a
+// module (e.g. a master skipping the shared check).
+func TestDuplicateSectionRejected(t *testing.T) {
+	src := []byte(`
+module m
+section 1 { function f() { return; } }
+section 1 { function g() { return; } }
+`)
+	var bag source.DiagBag
+	m := parser.Parse("dup.w2", src, &bag)
+	if bag.HasErrors() {
+		t.Fatalf("parse: %s", bag.String())
+	}
+	fn := m.Sections[0].Funcs[0]
+	_, err := CompileFunction(m, nil, fn, Options{})
+	if err == nil || !strings.Contains(err.Error(), "section 1 more than once") {
+		t.Errorf("err = %v, want duplicate-section error", err)
+	}
+}
+
+func TestUnknownSectionRejected(t *testing.T) {
+	src := []byte(`
+module m
+section 1 { function f() { return; } }
+`)
+	var bag source.DiagBag
+	m := parser.Parse("unk.w2", src, &bag)
+	if bag.HasErrors() {
+		t.Fatalf("parse: %s", bag.String())
+	}
+	fn := m.Sections[0].Funcs[0]
+	fn.SectionIndex = 9
+	_, err := CompileFunction(m, nil, fn, Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown section 9") {
+		t.Errorf("err = %v, want unknown-section error", err)
+	}
+}
+
+// TestCompileFunctionCachedMatchesUncached is the cache's correctness core:
+// for every function of a realistic multi-section program, the cached path
+// (shared lowered IR + clone) must emit word-identical code to the uncached
+// path, on both the cold pass (miss) and the warm pass (hit).
+func TestCompileFunctionCachedMatchesUncached(t *testing.T) {
+	src := wgen.UserProgram()
+	m, info, bag := Frontend("user.w2", src)
+	if bag.HasErrors() {
+		t.Fatalf("frontend: %s", bag.String())
+	}
+	h := fcache.HashSource(src)
+	cache := fcache.New(0)
+
+	for pass := 0; pass < 2; pass++ {
+		for _, sec := range m.Sections {
+			for _, fn := range sec.Funcs {
+				want, err := CompileFunction(m, info, fn, Options{})
+				if err != nil {
+					t.Fatalf("pass %d: CompileFunction(%s): %v", pass, fn.Name, err)
+				}
+				got, err := CompileFunctionCached(cache, h, m, info, fn, Options{})
+				if err != nil {
+					t.Fatalf("pass %d: CompileFunctionCached(%s): %v", pass, fn.Name, err)
+				}
+				if len(got.Object.Code) != len(want.Object.Code) {
+					t.Fatalf("pass %d: %s: cached emits %d words, uncached %d",
+						pass, fn.Name, len(got.Object.Code), len(want.Object.Code))
+				}
+				for i := range got.Object.Code {
+					if got.Object.Code[i] != want.Object.Code[i] {
+						t.Fatalf("pass %d: %s: word %d differs: cached %v, uncached %v",
+							pass, fn.Name, i, got.Object.Code[i], want.Object.Code[i])
+					}
+				}
+				if got.IsEntry != want.IsEntry || got.Section != want.Section {
+					t.Errorf("pass %d: %s: metadata differs", pass, fn.Name)
+				}
+			}
+		}
+	}
+
+	s := cache.Stats()
+	if s.IRHits == 0 {
+		t.Error("warm pass produced no IR cache hits")
+	}
+	if s.IRMisses == 0 {
+		t.Error("cold pass produced no IR cache misses")
+	}
+}
+
+// TestCompileModuleReportsWarnings: the discarded-call-result warning must
+// surface in Result.Warnings exactly once.
+func TestCompileModuleReportsWarnings(t *testing.T) {
+	src := []byte(`
+module m
+section 1 {
+    function g(): int { return 1; }
+    function f() { g(); return; }
+}
+`)
+	res, err := CompileModule("warn.w2", src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var n int
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "result of call is discarded") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("discarded-call warning appeared %d times in %q, want exactly 1", n, res.Warnings)
+	}
+}

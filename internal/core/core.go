@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/ast"
 	"repro/internal/compiler"
+	"repro/internal/fcache"
 	"repro/internal/iodriver"
 	"repro/internal/link"
 	"repro/internal/parser"
@@ -32,15 +34,22 @@ import (
 )
 
 // CompileRequest names one function of a module for a function master. The
-// full source travels with the request because the processes share no
-// memory (the paper's masters likewise hand the source and parse
-// information to their children).
+// source travels with the request because the processes share no memory
+// (the paper's masters likewise hand the source and parse information to
+// their children) — except that SourceHash content-addresses it, so a
+// backend whose workers already hold the source (internal/fcache) may clear
+// Source and send the 32-byte hash alone.
 type CompileRequest struct {
-	File    string
-	Source  []byte
-	Section int // 1-based section index
-	Index   int // 0-based function position within the section
-	Opts    compiler.Options
+	File string
+	// Source is the full module text. It may be empty when SourceHash is
+	// set and the receiving worker is known to have the source resident.
+	Source []byte
+	// SourceHash is fcache.HashSource(Source). Zero means "not computed";
+	// cached paths derive it on demand.
+	SourceHash fcache.SourceHash
+	Section    int // 1-based section index
+	Index      int // 0-based function position within the section
+	Opts       compiler.Options
 }
 
 // CompileReply is the function master's result: the assembled object plus
@@ -64,12 +73,36 @@ type Backend interface {
 	Workers() int
 }
 
-// RunFunctionMaster executes one compile request in the current process.
-// Backends call it on their workers; cmd/warpworker exposes it over RPC.
+// CacheProvider is implemented by backends whose workers share an artifact
+// cache with the master process (cluster.LocalPool). The master then warms
+// the frontend tier during its own phase 1, so no worker ever re-parses.
+type CacheProvider interface {
+	Cache() *fcache.Cache
+}
+
+// CacheStatser is implemented by backends that can report cache
+// effectiveness counters (cumulative over the backend's lifetime).
+type CacheStatser interface {
+	CacheStats() fcache.Stats
+}
+
+// RunFunctionMaster executes one compile request in the current process,
+// re-deriving everything from source — the uncached behavior of the paper's
+// function masters, which share only the file system.
 func RunFunctionMaster(req CompileRequest) (*CompileReply, error) {
-	// Each function master re-derives everything from source: the
-	// workstations share only the file system.
-	m, info, bag := compiler.Frontend(req.File, req.Source)
+	return RunFunctionMasterWith(req, nil)
+}
+
+// RunFunctionMasterWith executes one compile request using cache for the
+// shared immutable artifacts (checked frontend, lowered section IR). With a
+// nil cache it re-derives everything from source. Backends call it on their
+// workers; cmd/warpworker exposes it over RPC with a per-process cache.
+func RunFunctionMasterWith(req CompileRequest, cache *fcache.Cache) (*CompileReply, error) {
+	h := req.SourceHash
+	if h.IsZero() && cache != nil {
+		h = fcache.HashSource(req.Source)
+	}
+	m, info, bag := compiler.FrontendCached(cache, h, req.File, req.Source)
 	if bag.HasErrors() {
 		return nil, fmt.Errorf("function master: front-end errors:\n%s", bag.String())
 	}
@@ -81,7 +114,7 @@ func RunFunctionMaster(req CompileRequest) (*CompileReply, error) {
 			return nil, fmt.Errorf("function master: section %d has no function %d", req.Section, req.Index)
 		}
 		fn := sec.Funcs[req.Index]
-		fr, err := compiler.CompileFunction(m, info, fn, req.Opts)
+		fr, err := compiler.CompileFunctionCached(cache, h, m, info, fn, req.Opts)
 		if err != nil {
 			return nil, err
 		}
@@ -93,12 +126,49 @@ func RunFunctionMaster(req CompileRequest) (*CompileReply, error) {
 			ObjectBytes: asm.Encode(fr.Object),
 			CPUTime:     fr.CPUTime,
 		}
+		// The function master's diagnostic output: frontend warnings that
+		// belong to this function plus warnings from its own phases 2+3.
+		reply.Warnings = append(reply.Warnings, frontendWarnings(m, bag, fn)...)
 		for _, d := range fr.Diags.All() {
-			reply.Warnings = append(reply.Warnings, d.String())
+			if d.Severity == source.Warn {
+				reply.Warnings = append(reply.Warnings, d.String())
+			}
 		}
 		return reply, nil
 	}
 	return nil, fmt.Errorf("function master: no section %d in module", req.Section)
+}
+
+// warningOwner returns the function whose declaration contains pos: the
+// function with the greatest starting offset not after pos. It returns nil
+// for module-level positions before the first function.
+func warningOwner(m *ast.Module, pos source.Pos) *ast.FuncDecl {
+	var owner *ast.FuncDecl
+	for _, sec := range m.Sections {
+		for _, f := range sec.Funcs {
+			if f.Pos().Offset <= pos.Offset && (owner == nil || f.Pos().Offset > owner.Pos().Offset) {
+				owner = f
+			}
+		}
+	}
+	return owner
+}
+
+// frontendWarnings renders bag's warning diagnostics owned by fn — or, with
+// fn nil, the module-level warnings owned by no function. Splitting
+// ownership this way means each warning is reported by exactly one master
+// even though every function master sees the whole module's diagnostics.
+func frontendWarnings(m *ast.Module, bag *source.DiagBag, fn *ast.FuncDecl) []string {
+	var out []string
+	for _, d := range bag.All() {
+		if d.Severity != source.Warn {
+			continue
+		}
+		if warningOwner(m, d.Pos) == fn {
+			out = append(out, d.String())
+		}
+	}
+	return out
 }
 
 // SectionResult is what one section master hands back to the master.
@@ -131,6 +201,12 @@ type ParallelStats struct {
 	// SectionCPU lists each section master's coordination time.
 	SectionCPU map[int]time.Duration
 	Workers    int
+	// Warnings counts the diagnostics merged into Result.Warnings.
+	Warnings int
+	// Cache reports the backend's artifact-cache counters (cumulative over
+	// the backend's lifetime, not just this compilation); zero when the
+	// backend is uncached.
+	Cache fcache.Stats
 }
 
 // TotalFuncCPU sums all function masters' CPU time.
@@ -162,10 +238,20 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 		return nil, stats, fmt.Errorf("master: syntax errors, compilation aborted:\n%s", outlineBag.String())
 	}
 
+	// The content address travels with every request; backends with caching
+	// workers use it to avoid re-parsing and re-sending the source.
+	srcHash := fcache.HashSource(src)
+	var masterCache *fcache.Cache
+	if cp, ok := backend.(CacheProvider); ok {
+		masterCache = cp.Cache()
+	}
+
 	// Master, step 2: phase 1 proper. All syntax and semantic errors are
-	// discovered here and abort the compilation before any fork.
+	// discovered here and abort the compilation before any fork. When the
+	// backend shares a cache with this process, this run also warms the
+	// frontend tier for every function master.
 	t1 := time.Now()
-	m, _, bag := compiler.Frontend(file, src)
+	m, _, bag := compiler.FrontendCached(masterCache, srcHash, file, src)
 	stats.FrontendTime = time.Since(t1)
 	if bag.HasErrors() {
 		return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", bag.String())
@@ -180,18 +266,25 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 		wg.Add(1)
 		go func(i int, so parser.SectionOutline) {
 			defer wg.Done()
-			results[i], errs[i] = runSectionMaster(file, src, so, backend, opts)
+			results[i], errs[i] = runSectionMaster(file, src, srcHash, so, backend, opts)
 		}(i, so)
 	}
 	wg.Wait()
 	stats.SchedulingTime = time.Since(t2)
 
+	// Combine the section masters' results. Warnings are merged in section
+	// order — the paper's "combining diagnostic output" step — and every
+	// reconstructed FuncResult carries a non-nil (if empty) DiagBag, because
+	// the structured diagnostics cannot cross the process boundary.
 	var funcResults []*compiler.FuncResult
+	var warnings []string
+	warnings = append(warnings, frontendWarnings(m, bag, nil)...)
 	for i, r := range results {
 		if errs[i] != nil {
 			return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, errs[i])
 		}
 		stats.SectionCPU[r.Section] = r.MasterTime
+		warnings = append(warnings, r.Warnings...)
 		for name, d := range r.FuncCPU {
 			stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, name)] = d
 		}
@@ -201,6 +294,7 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 				Section: obj.Section,
 				IsEntry: obj.IsEntry,
 				Object:  obj,
+				Diags:   &source.DiagBag{},
 			}
 			if k < len(r.Lines) {
 				fr.Lines = r.Lines[k]
@@ -211,6 +305,7 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 			funcResults = append(funcResults, fr)
 		}
 	}
+	stats.Warnings = len(warnings)
 
 	// Master, step 4: the sequential tail (assembly already happened per
 	// function; what remains is linking and driver generation — the paper's
@@ -225,16 +320,20 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 		Module:     linked,
 		Driver:     iodriver.Generate(m),
 		Funcs:      funcResults,
+		Warnings:   warnings,
 	}
 	stats.BackendTail = time.Since(t3)
 	stats.Elapsed = time.Since(start)
+	if cs, ok := backend.(CacheStatser); ok {
+		stats.Cache = cs.CacheStats()
+	}
 	return res, stats, nil
 }
 
 // runSectionMaster forks one function master per function of the section
 // (concurrently — the backend's worker pool provides the FCFS placement),
 // combines the objects in declaration order, and merges diagnostics.
-func runSectionMaster(file string, src []byte, so parser.SectionOutline, backend Backend, opts compiler.Options) (*SectionResult, error) {
+func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, opts compiler.Options) (*SectionResult, error) {
 	t0 := time.Now()
 	res := &SectionResult{Section: so.Index, FuncCPU: make(map[string]time.Duration)}
 
@@ -246,11 +345,12 @@ func runSectionMaster(file string, src []byte, so parser.SectionOutline, backend
 		go func(i int) {
 			defer wg.Done()
 			replies[i], errs[i] = backend.Compile(CompileRequest{
-				File:    file,
-				Source:  src,
-				Section: so.Index,
-				Index:   i,
-				Opts:    opts,
+				File:       file,
+				Source:     src,
+				SourceHash: srcHash,
+				Section:    so.Index,
+				Index:      i,
+				Opts:       opts,
 			})
 		}(i)
 	}

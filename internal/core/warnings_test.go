@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// warnSrc triggers the frontend's discarded-call-result warning in one
+// function and compiles cleanly otherwise.
+var warnSrc = []byte(`
+module m
+section 1 {
+    function g(): int { return 1; }
+    function f() { g(); return; }
+}
+section 2 {
+    function h() { return; }
+}
+`)
+
+// TestParallelCompileSurfacesWarnings: every function master sees the whole
+// module's diagnostics, but the combined output must carry each warning
+// exactly once — and it must not be dropped (the bug this fixes).
+func TestParallelCompileSurfacesWarnings(t *testing.T) {
+	res, stats, err := ParallelCompile("warn.w2", warnSrc, newLocalBackend(4), compiler.Options{})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	var n int
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "result of call is discarded") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("discarded-call warning appeared %d times in %q, want exactly 1", n, res.Warnings)
+	}
+	if stats.Warnings != len(res.Warnings) {
+		t.Errorf("stats.Warnings = %d, want %d", stats.Warnings, len(res.Warnings))
+	}
+
+	// Parity with the sequential compiler's combined output.
+	seq, err := compiler.CompileModule("warn.w2", warnSrc, compiler.Options{})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if got, want := strings.Join(res.Warnings, "\n"), strings.Join(seq.Warnings, "\n"); got != want {
+		t.Errorf("parallel warnings differ from sequential:\n--- parallel\n%s\n--- sequential\n%s", got, want)
+	}
+}
+
+// TestParallelFuncResultsHaveDiags: reconstructed FuncResults must not carry
+// a nil DiagBag — callers iterate fr.Diags without nil checks.
+func TestParallelFuncResultsHaveDiags(t *testing.T) {
+	res, _, err := ParallelCompile("warn.w2", warnSrc, newLocalBackend(2), compiler.Options{})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	for _, fr := range res.Funcs {
+		if fr.Diags == nil {
+			t.Errorf("function %s has nil Diags in the parallel path", fr.Name)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package fcache is the parallel compiler's content-addressed artifact
+// cache. The paper's function masters re-derive everything from source
+// because the SUN workstations "share only the file system"; fcache relaxes
+// exactly that constraint without changing any observable output. It keeps
+// two tiers of immutable compilation artifacts keyed by the SHA-256 of the
+// module source:
+//
+//	frontend tier    hash                           -> checked (*ast.Module, *sem.Info, diagnostics)
+//	section-IR tier  (hash, section)                -> the section's lowered, inlined ir.Funcs
+//	object tier      (hash, section, func, options) -> the finished per-function artifact
+//
+// plus a source store (hash -> source bytes) that lets distributed section
+// masters send a 32-byte hash instead of the whole module on every request —
+// the modern analog of the paper's shared file server. The first two tiers
+// kill redundant parse/check/lower work within one compilation; the object
+// tier makes recompiling unchanged source nearly free (the ccache model),
+// which is what repeated builds in an edit-compile loop actually hit.
+//
+// The cache is bounded (LRU over an approximate byte budget) and deduplicates
+// in-flight work singleflight-style: concurrent requests for the same key
+// perform the computation exactly once. Cached values are shared and must be
+// treated as immutable by all callers; anything that will be mutated (the
+// target ir.Func of a compilation) must be deep-copied first (ir.Func.Clone).
+//
+// All methods are safe for concurrent use and tolerate a nil *Cache, which
+// degrades to the uncached re-derive-everything behavior.
+package fcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// SourceHash is the content address of a module source: its SHA-256.
+type SourceHash [sha256.Size]byte
+
+// HashSource returns the content address of src.
+func HashSource(src []byte) SourceHash { return sha256.Sum256(src) }
+
+// String renders the hash in hex.
+func (h SourceHash) String() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether h is the zero (absent) hash.
+func (h SourceHash) IsZero() bool { return h == SourceHash{} }
+
+// DefaultMaxBytes is the default cache budget. Artifacts are small relative
+// to modern memories; the bound exists so long-running workers cannot grow
+// without limit across many distinct modules.
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a snapshot of cache effectiveness counters. Pools aggregate
+// worker stats with Add; RPCBytesSaved is filled by the RPC pool (bytes of
+// source not re-sent because the worker already held it).
+type Stats struct {
+	FrontendHits   int64
+	FrontendMisses int64
+	IRHits         int64
+	IRMisses       int64
+	ObjectHits     int64
+	ObjectMisses   int64
+	SourceHits     int64
+	SourceMisses   int64
+	InflightWaits  int64 // requests that waited on another's computation
+	Evictions      int64
+	BytesUsed      int64
+	BytesMax       int64
+	RPCBytesSaved  int64
+}
+
+// Hits totals all tiers' hits.
+func (s Stats) Hits() int64 {
+	return s.FrontendHits + s.IRHits + s.ObjectHits + s.SourceHits
+}
+
+// Misses totals all tiers' misses.
+func (s Stats) Misses() int64 {
+	return s.FrontendMisses + s.IRMisses + s.ObjectMisses + s.SourceMisses
+}
+
+// Add accumulates o into s (for aggregating per-worker stats).
+func (s *Stats) Add(o Stats) {
+	s.FrontendHits += o.FrontendHits
+	s.FrontendMisses += o.FrontendMisses
+	s.IRHits += o.IRHits
+	s.IRMisses += o.IRMisses
+	s.ObjectHits += o.ObjectHits
+	s.ObjectMisses += o.ObjectMisses
+	s.SourceHits += o.SourceHits
+	s.SourceMisses += o.SourceMisses
+	s.InflightWaits += o.InflightWaits
+	s.Evictions += o.Evictions
+	s.BytesUsed += o.BytesUsed
+	s.BytesMax += o.BytesMax
+	s.RPCBytesSaved += o.RPCBytesSaved
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("frontend %d/%d, ir %d/%d, object %d/%d, source %d/%d hit/miss; %d evictions, %d B resident, %d B rpc saved",
+		s.FrontendHits, s.FrontendMisses, s.IRHits, s.IRMisses,
+		s.ObjectHits, s.ObjectMisses,
+		s.SourceHits, s.SourceMisses, s.Evictions, s.BytesUsed, s.RPCBytesSaved)
+}
+
+// FrontendEntry is one cached phase-1 result. Bag may hold errors; the entry
+// is cached either way because the result is a pure function of the source.
+type FrontendEntry struct {
+	Module *ast.Module
+	Info   *sem.Info
+	Bag    *source.DiagBag
+}
+
+// Cache is a bounded content-addressed cache. The zero value is not usable;
+// call New. A nil *Cache is valid and behaves as an always-miss cache that
+// stores nothing.
+type Cache struct {
+	mu       sync.Mutex
+	max      int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*call
+	stats    Stats
+}
+
+type entry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a cache bounded to approximately maxBytes of artifact cost
+// (maxBytes < 1 selects DefaultMaxBytes).
+func New(maxBytes int64) *Cache {
+	if maxBytes < 1 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		max:      maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Frontend returns the checked frontend artifacts for the module whose
+// source hashes to h, computing them with build on a miss. build must be a
+// pure function of the source content; it is invoked at most once per key
+// even under concurrent callers. The second return is cost in bytes.
+func (c *Cache) Frontend(h SourceHash, build func() (*FrontendEntry, int64)) *FrontendEntry {
+	if c == nil {
+		e, _ := build()
+		return e
+	}
+	v, _ := c.getOrCompute("fe:"+h.String(), tierFrontend, func() (any, int64, error) {
+		e, cost := build()
+		return e, cost, nil
+	})
+	return v.(*FrontendEntry)
+}
+
+// SectionIR returns the lowered, inlined flowgraphs of the given section (in
+// declaration order, call-free) for the module hashing to h, computing them
+// with build on a miss. The returned funcs are shared: callers must not
+// mutate them — deep-copy (Clone) any func before optimizing it. Build
+// errors are returned but not cached.
+func (c *Cache) SectionIR(h SourceHash, section int, build func() ([]*ir.Func, error)) ([]*ir.Func, error) {
+	if c == nil {
+		return build()
+	}
+	key := fmt.Sprintf("ir:%s:%d", h.String(), section)
+	v, err := c.getOrCompute(key, tierIR, func() (any, int64, error) {
+		fs, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return fs, irCost(fs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*ir.Func), nil
+}
+
+// FuncObject returns the finished compilation artifact for function index of
+// the given section (of the module hashing to h), computing it with build on
+// a miss. variant distinguishes compilations of the same function under
+// different option sets. The value is opaque to the cache — the compiler
+// package owns the concrete type — and is shared on hit, so callers must
+// treat it as immutable. Build errors are returned but not cached.
+func (c *Cache) FuncObject(h SourceHash, section, index int, variant string, build func() (any, int64, error)) (any, error) {
+	if c == nil {
+		v, _, err := build()
+		return v, err
+	}
+	key := fmt.Sprintf("obj:%s:%d:%d:%s", h.String(), section, index, variant)
+	return c.getOrCompute(key, tierObject, build)
+}
+
+// PutSource stores module source under its content address. The caller is
+// responsible for h == HashSource(src) (process boundaries verify this; see
+// cluster.Worker.StoreSource).
+func (c *Cache) PutSource(h SourceHash, src []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := "src:" + h.String()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.insertLocked(key, src, int64(len(src))+64)
+}
+
+// Source returns the stored source for h, if resident.
+func (c *Cache) Source(h SourceHash) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items["src:"+h.String()]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.SourceHits++
+		return el.Value.(*entry).val.([]byte), true
+	}
+	c.stats.SourceMisses++
+	return nil, false
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesUsed = c.used
+	s.BytesMax = c.max
+	return s
+}
+
+// Len returns the number of resident entries across all tiers.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+type tier int
+
+const (
+	tierFrontend tier = iota
+	tierIR
+	tierObject
+)
+
+func (c *Cache) countLocked(t tier, hit bool) {
+	switch {
+	case t == tierFrontend && hit:
+		c.stats.FrontendHits++
+	case t == tierFrontend:
+		c.stats.FrontendMisses++
+	case t == tierIR && hit:
+		c.stats.IRHits++
+	case t == tierIR:
+		c.stats.IRMisses++
+	case t == tierObject && hit:
+		c.stats.ObjectHits++
+	default:
+		c.stats.ObjectMisses++
+	}
+}
+
+// getOrCompute is the LRU + singleflight core. Exactly one caller computes a
+// missing key; concurrent callers for the same key block until the value is
+// ready and share it. Errors propagate to every waiter but are not cached.
+func (c *Cache) getOrCompute(key string, t tier, build func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.countLocked(t, true)
+		c.mu.Unlock()
+		return el.Value.(*entry).val, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.InflightWaits++
+		c.countLocked(t, true) // the shared computation counts as one miss total
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
+	}
+	c.countLocked(t, false)
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	val, cost, err := build()
+	cl.val, cl.err = val, err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.insertLocked(key, val, cost)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return val, err
+}
+
+// insertLocked adds a value and evicts from the LRU tail until the budget
+// holds. Values costlier than the whole budget are returned to callers but
+// never cached.
+func (c *Cache) insertLocked(key string, val any, cost int64) {
+	if cost > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.used += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, cost: cost})
+		c.used += cost
+	}
+	for c.used > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.cost
+		c.stats.Evictions++
+	}
+}
+
+// irCost estimates the resident cost of a section's flowgraphs.
+func irCost(fs []*ir.Func) int64 {
+	cost := int64(256)
+	for _, f := range fs {
+		cost += 512 + 48*int64(f.NumInstrs()) + 8*int64(f.NumVRegs())
+	}
+	return cost
+}

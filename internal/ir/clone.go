@@ -1,0 +1,50 @@
+package ir
+
+import "repro/internal/types"
+
+// Clone returns a deep copy of f: fresh blocks, instructions, operand
+// slices, and register table, with branch targets and CFG edges remapped to
+// the copied blocks. The copy shares nothing mutable with the original, so
+// optimization and code generation on the clone leave the original intact —
+// this is what lets the parallel compiler cache one lowered flowgraph per
+// function and still keep every compilation isolated.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:       f.Name,
+		Section:    f.Section,
+		ResultKind: f.ResultKind,
+		Params:     append([]VReg(nil), f.Params...),
+		Arrays:     append([]ArrayVar(nil), f.Arrays...),
+		kinds:      append([]types.Kind(nil), f.kinds...),
+	}
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{ID: b.ID}
+		nf.Blocks[i] = nb
+		blockMap[b] = nb
+	}
+	for i, b := range f.Blocks {
+		nb := nf.Blocks[i]
+		nb.Instrs = append([]Instr(nil), b.Instrs...)
+		for j := range nb.Instrs {
+			in := &nb.Instrs[j]
+			if len(in.Args) > 0 {
+				in.Args = append([]VReg(nil), in.Args...)
+			}
+			if in.Then != nil {
+				in.Then = blockMap[in.Then]
+			}
+			if in.Else != nil {
+				in.Else = blockMap[in.Else]
+			}
+		}
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, blockMap[p])
+		}
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, blockMap[s])
+		}
+	}
+	return nf
+}

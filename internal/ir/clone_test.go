@@ -1,0 +1,98 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// cloneSubject lowers a function with branches and a loop so the clone has a
+// nontrivial CFG (multiple blocks, preds/succs, condbr args) to get wrong.
+func cloneSubject(t *testing.T) *Func {
+	t.Helper()
+	funcs := lowerSection(t, sec(`
+function f(a: int, b: int): int {
+    var s: int = 0;
+    var i: int;
+    for i = 0 to a {
+        if (i < b) {
+            s = s + i;
+        } else {
+            s = s - i;
+        }
+    }
+    return s;
+}
+`))
+	return funcs["f"]
+}
+
+func TestCloneIsStructurallyIdentical(t *testing.T) {
+	f := cloneSubject(t)
+	c := f.Clone()
+	if c == f {
+		t.Fatal("Clone returned the receiver")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if got, want := c.String(), f.String(); got != want {
+		t.Errorf("clone renders differently:\n--- clone\n%s\n--- original\n%s", got, want)
+	}
+	if c.NumInstrs() != f.NumInstrs() || c.NumVRegs() != f.NumVRegs() {
+		t.Errorf("clone sizes (%d instrs, %d vregs) != original (%d, %d)",
+			c.NumInstrs(), c.NumVRegs(), f.NumInstrs(), f.NumVRegs())
+	}
+	// Blocks must be fresh objects, with edges remapped into the clone.
+	mine := make(map[*Block]bool, len(c.Blocks))
+	for i, b := range c.Blocks {
+		if b == f.Blocks[i] {
+			t.Fatalf("block %d shared with original", i)
+		}
+		mine[b] = true
+	}
+	for i, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if !mine[s] {
+				t.Fatalf("block %d succ points outside the clone", i)
+			}
+		}
+		for _, p := range b.Preds {
+			if !mine[p] {
+				t.Fatalf("block %d pred points outside the clone", i)
+			}
+		}
+		if term := b.Term(); term != nil {
+			if (term.Then != nil && !mine[term.Then]) || (term.Else != nil && !mine[term.Else]) {
+				t.Fatalf("block %d branch target points outside the clone", i)
+			}
+		}
+	}
+}
+
+// TestCloneIsolatesMutation is the property the cache relies on: a cached
+// func handed to one function master's optimizer must not be visible to
+// another master reading the shared copy.
+func TestCloneIsolatesMutation(t *testing.T) {
+	f := cloneSubject(t)
+	before := f.String()
+
+	c := f.Clone()
+	// Mutate the clone the way the backend does: new vregs, new blocks,
+	// rewritten instructions, edge surgery.
+	v := c.NewVReg(types.Int)
+	nb := c.NewBlock()
+	nb.Instrs = append(nb.Instrs, Instr{Op: Ret})
+	c.Blocks[0].Instrs[0] = Instr{Op: ConstI, Dst: v, ConstI: 99}
+	c.Blocks[0].Instrs = append(c.Blocks[0].Instrs, Instr{Op: Nop})
+	AddEdge(c.Blocks[0], nb)
+	c.Params = append(c.Params, v)
+	c.Arrays = append(c.Arrays, ArrayVar{Sym: "scratch", Words: 8})
+
+	if after := f.String(); after != before {
+		t.Errorf("mutating the clone changed the original:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+	if got, want := f.NumVRegs(), c.NumVRegs()-1; got != want {
+		t.Errorf("original NumVRegs = %d after clone mutation, want %d", got, want)
+	}
+}
