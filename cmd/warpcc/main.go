@@ -11,6 +11,10 @@
 //	-mode seq|par|rpc     compilation mode (default seq)
 //	-j N                  worker count for -mode par (default 4)
 //	-workers host:port,.. worker addresses for -mode rpc
+//	-call-timeout D       per-RPC deadline for -mode rpc (0 disables)
+//	-max-retries N        failover attempts per request for -mode rpc
+//	-dial-retry D         readmission probe period for quarantined workers
+//	-no-fallback          fail instead of compiling locally when no worker is up
 //	-S                    print assembly listings
 //	-run                  execute the module on the array simulator
 //	-in v1,v2,...         input stream values for -run
@@ -26,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/codegen"
@@ -47,6 +52,11 @@ func main() {
 		noSched    = flag.Bool("no-sched", false, "disable instruction scheduling")
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
 		showStats  = flag.Bool("stats", false, "print per-function statistics")
+
+		callTimeout = flag.Duration("call-timeout", 30*time.Second, "per-RPC deadline for -mode rpc (0 disables)")
+		maxRetries  = flag.Int("max-retries", 3, "max failover attempts per request for -mode rpc (0 disables)")
+		dialRetry   = flag.Duration("dial-retry", 500*time.Millisecond, "probe period for readmitting quarantined workers (0 disables)")
+		noFallback  = flag.Bool("no-fallback", false, "fail instead of compiling in-process when no worker is available")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -87,15 +97,40 @@ func main() {
 		if *workers == "" {
 			fatal(fmt.Errorf("-mode rpc requires -workers"))
 		}
-		pool, derr := cluster.DialPool(strings.Split(*workers, ","))
+		popts := cluster.PoolOptions{
+			CallTimeout:     *callTimeout,
+			MaxRetries:      *maxRetries,
+			DialRetry:       *dialRetry,
+			DisableFallback: *noFallback,
+		}
+		if *callTimeout == 0 {
+			popts.CallTimeout = -1
+		}
+		if *maxRetries == 0 {
+			popts.MaxRetries = -1
+		}
+		if *dialRetry == 0 {
+			popts.DialRetry = -1
+		}
+		pool, derr := cluster.DialPoolWith(strings.Split(*workers, ","), popts)
 		if derr != nil {
 			fatal(derr)
 		}
 		defer pool.Close()
+		if pool.Healthy() < pool.Workers() {
+			fmt.Fprintf(os.Stderr, "warpcc: degraded start: %d/%d workers reachable\n",
+				pool.Healthy(), pool.Workers())
+		}
 		var pstats *core.ParallelStats
 		res, pstats, err = core.ParallelCompile(file, src, pool, opts)
-		if err == nil && *showStats {
-			fmt.Printf("cache: %s\n", pstats.Cache)
+		if err == nil {
+			for _, w := range pstats.Faults.Warnings {
+				fmt.Fprintln(os.Stderr, "warpcc: degraded:", w)
+			}
+			if *showStats {
+				fmt.Printf("cache: %s\n", pstats.Cache)
+				fmt.Printf("dispatch: %s\n", pstats.Faults)
+			}
 		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))

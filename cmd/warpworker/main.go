@@ -5,15 +5,23 @@
 // against the same module source skip parsing, checking, and lowering, and
 // masters can send a 32-byte hash instead of the whole source.
 //
+// On SIGINT/SIGTERM the worker shuts down gracefully: it stops accepting
+// connections, refuses new compiles (clients fail over to other workers),
+// drains in-flight compiles for up to the grace period, then exits 0 — so
+// an operator restart never surfaces as a raw connection reset mid-reply.
+//
 // Usage:
 //
-//	warpworker [-addr host:port] [-cache-mb N]
+//	warpworker [-addr host:port] [-cache-mb N] [-grace D]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 )
@@ -21,20 +29,27 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
 	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default, negative = disable caching)")
+	grace := flag.Duration("grace", 10*time.Second, "drain period for in-flight compiles on SIGINT/SIGTERM")
 	flag.Parse()
 
 	cacheBytes := *cacheMB << 20
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	ln, bound, err := cluster.ServeWorkerWith(*addr, cacheBytes)
+	srv, err := cluster.NewWorkerServer(*addr, cacheBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "warpworker:", err)
 		os.Exit(1)
 	}
-	defer ln.Close()
-	fmt.Printf("warpworker: serving compile requests on %s\n", bound)
+	fmt.Printf("warpworker: serving compile requests on %s\n", srv.Addr())
 
-	// Serve until killed.
-	select {}
+	// Serve until asked to stop, then drain.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("warpworker: %v: draining in-flight compiles (grace %v)\n", s, *grace)
+	if err := srv.Shutdown(*grace); err != nil {
+		fmt.Fprintln(os.Stderr, "warpworker: shutdown:", err)
+	}
+	fmt.Println("warpworker: stopped")
 }

@@ -98,15 +98,22 @@ func TestParallelStatsReportCacheCounters(t *testing.T) {
 	}
 }
 
-// TestWorkerKilledMidCompile kills the only worker and checks that both the
-// pool and a full parallel compile fail cleanly (no hang, no corrupt
-// output) — the distributed system's failure story.
+// TestWorkerKilledMidCompile kills the only worker of a pool running with
+// fault tolerance switched off and checks that both the pool and a full
+// parallel compile fail cleanly (no hang, no corrupt output) — the paper's
+// original failure story, still reachable when retries and the local
+// fallback are disabled.
 func TestWorkerKilledMidCompile(t *testing.T) {
 	ln, addr, err := ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool, err := DialPool([]string{addr})
+	pool, err := DialPoolWith([]string{addr}, PoolOptions{
+		CallTimeout:     5 * time.Second,
+		MaxRetries:      -1,
+		DialRetry:       -1,
+		DisableFallback: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,14 +16,21 @@
 // the module source to a worker once (Worker.StoreSource, the shared-file-
 // server analog) and afterwards send only its 32-byte content hash, so
 // per-request wire bytes drop from O(|source|) to O(1).
+//
+// Unlike the paper's system — where a workstation failing mid-compile
+// failed the compilation — the RPCPool is fault-tolerant: calls carry
+// deadlines, failed requests fail over to other workers (they are pure
+// functions of source hash and options, so replay is safe), repeatedly
+// failing workers are quarantined and probed for readmission, and when no
+// worker is left the pool compiles in-process so the compilation still
+// completes. See pool.go.
 package cluster
 
 import (
-	"fmt"
 	"net"
 	"net/rpc"
-	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fcache"
@@ -73,27 +80,6 @@ func (p *LocalPool) Compile(req core.CompileRequest) (*core.CompileReply, error)
 // ---------------------------------------------------------------------------
 // RPC worker (the "workstation" daemon)
 
-// missingSourceMsg marks the error a worker returns for a hash-only request
-// whose source is not resident; pools react by pushing the source and
-// retrying. It crosses the net/rpc boundary as a string, so detection is by
-// substring (IsMissingSource).
-const missingSourceMsg = "worker: source not resident for hash"
-
-// IsMissingSource reports whether err is a worker's source-not-resident
-// error.
-func IsMissingSource(err error) bool {
-	return err != nil && strings.Contains(err.Error(), missingSourceMsg)
-}
-
-// cacheDisabledMsg marks the error an uncached worker returns for
-// StoreSource; pools fall back to sending the full source every request.
-const cacheDisabledMsg = "worker: caching disabled"
-
-// IsCacheDisabled reports whether err is a worker's caching-disabled error.
-func IsCacheDisabled(err error) bool {
-	return err != nil && strings.Contains(err.Error(), cacheDisabledMsg)
-}
-
 // SourceBlob is the Worker.StoreSource argument: module source plus its
 // content address.
 type SourceBlob struct {
@@ -105,8 +91,12 @@ type SourceBlob struct {
 // compiles one function at a time, like a single-CPU SUN, but keeps a
 // per-process artifact cache across requests.
 type Worker struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // serializes compiles: one CPU per workstation
 	cache *fcache.Cache
+
+	stateMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
 }
 
 // NewWorker returns a worker with a cache bounded to cacheBytes
@@ -118,16 +108,51 @@ func NewWorker(cacheBytes int64) *Worker {
 	return &Worker{cache: fcache.New(cacheBytes)}
 }
 
+// begin registers an in-flight request, refusing once draining has started.
+func (w *Worker) begin() bool {
+	w.stateMu.Lock()
+	defer w.stateMu.Unlock()
+	if w.draining {
+		return false
+	}
+	w.inflight.Add(1)
+	return true
+}
+
+// drain stops admitting new compiles and waits up to grace for in-flight
+// ones to finish. It reports whether the worker drained fully.
+func (w *Worker) drain(grace time.Duration) bool {
+	w.stateMu.Lock()
+	w.draining = true
+	w.stateMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(grace):
+		return false
+	}
+}
+
 // Compile is the RPC method invoked by section masters. Requests may omit
 // the source when the worker already holds it (content-addressed by
-// req.SourceHash).
+// req.SourceHash). Compile errors are wrapped with CodeCompile so clients
+// can tell "the source is bad" from "the worker is bad".
 func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) error {
+	if !w.begin() {
+		return codeErr(CodeUnavailable, "worker: draining, not accepting new compiles")
+	}
+	defer w.inflight.Done()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(req.Source) == 0 {
 		src, ok := w.cache.Source(req.SourceHash)
 		if !ok {
-			return fmt.Errorf("%s %s", missingSourceMsg, req.SourceHash)
+			return codeErr(CodeMissingSource, "worker: source not resident for hash %s", req.SourceHash)
 		}
 		req.Source = src
 	} else if !req.SourceHash.IsZero() {
@@ -135,7 +160,7 @@ func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) erro
 	}
 	r, err := core.RunFunctionMasterWith(req, w.cache)
 	if err != nil {
-		return err
+		return codeErr(CodeCompile, "%v", err)
 	}
 	*reply = *r
 	return nil
@@ -146,10 +171,10 @@ func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) erro
 // never poison the cache.
 func (w *Worker) StoreSource(blob SourceBlob, ok *bool) error {
 	if w.cache == nil {
-		return fmt.Errorf("%s", cacheDisabledMsg)
+		return codeErr(CodeCacheDisabled, "worker: caching disabled")
 	}
 	if got := fcache.HashSource(blob.Source); got != blob.Hash {
-		return fmt.Errorf("worker: source blob hash mismatch: got %s, want %s", got, blob.Hash)
+		return codeErr(CodeBadRequest, "worker: source blob hash mismatch: got %s, want %s", got, blob.Hash)
 	}
 	w.cache.PutSource(blob.Hash, blob.Source)
 	*ok = true
@@ -163,8 +188,16 @@ func (w *Worker) CacheStats(_ struct{}, out *fcache.Stats) error {
 	return nil
 }
 
-// Ping lets pools check worker liveness.
+// Ping lets pools check worker liveness. A draining worker answers
+// unavailable so pools stop routing to it.
 func (w *Worker) Ping(_ struct{}, ok *bool) error {
+	w.stateMu.Lock()
+	draining := w.draining
+	w.stateMu.Unlock()
+	if draining {
+		*ok = false
+		return codeErr(CodeUnavailable, "worker: draining")
+	}
 	*ok = true
 	return nil
 }
@@ -206,23 +239,27 @@ func (l *workerListener) Close() error {
 	return err
 }
 
-// ServeWorker listens on addr (e.g. "127.0.0.1:0") and serves compile
-// requests with a default-sized per-process cache until the listener is
-// closed. It returns the bound address.
-func ServeWorker(addr string) (net.Listener, string, error) {
-	return ServeWorkerWith(addr, 0)
+// WorkerServer is a serving worker with a lifecycle: Close kills it the way
+// a workstation crash would, Shutdown drains it the way an operator's
+// SIGTERM should.
+type WorkerServer struct {
+	wl     *workerListener
+	worker *Worker
+	addr   string
 }
 
-// ServeWorkerWith is ServeWorker with an explicit cache budget in bytes
-// (0 selects the default; negative disables caching).
-func ServeWorkerWith(addr string, cacheBytes int64) (net.Listener, string, error) {
+// NewWorkerServer listens on addr (e.g. "127.0.0.1:0") and serves compile
+// requests with a cache bounded to cacheBytes (0 selects the default;
+// negative disables caching) until closed or shut down.
+func NewWorkerServer(addr string, cacheBytes int64) (*WorkerServer, error) {
+	w := NewWorker(cacheBytes)
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", NewWorker(cacheBytes)); err != nil {
-		return nil, "", err
+	if err := srv.RegisterName("Worker", w); err != nil {
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	wl := &workerListener{Listener: ln, conns: make(map[net.Conn]struct{})}
 	go func() {
@@ -238,174 +275,50 @@ func ServeWorkerWith(addr string, cacheBytes int64) (net.Listener, string, error
 			}()
 		}
 	}()
-	return wl, ln.Addr().String(), nil
+	return &WorkerServer{wl: wl, worker: w, addr: ln.Addr().String()}, nil
 }
 
-// RPCPool dispatches compile requests to remote workers over net/rpc with
-// FCFS placement: a request takes the first worker that frees up. The pool
-// remembers which workers hold which sources and sends hash-only requests
-// whenever it can.
-type RPCPool struct {
-	clients []*rpc.Client
-	free    chan *rpc.Client
+// Addr returns the bound listen address.
+func (s *WorkerServer) Addr() string { return s.addr }
 
-	mu         sync.Mutex
-	has        map[*rpc.Client]map[fcache.SourceHash]bool
-	noCache    map[*rpc.Client]bool
-	bytesSaved int64
-}
+// Close stops accepting and severs every live connection immediately — the
+// workstation-crash behavior used by fault tests.
+func (s *WorkerServer) Close() error { return s.wl.Close() }
 
-// DialPool connects to the given worker addresses.
-func DialPool(addrs []string) (*RPCPool, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("cluster: no worker addresses")
+// Shutdown stops accepting new connections, refuses new compiles, waits up
+// to grace for in-flight compiles to finish, then severs the remaining
+// connections. It returns an error when the grace period expired with work
+// still in flight.
+func (s *WorkerServer) Shutdown(grace time.Duration) error {
+	s.wl.Listener.Close() // stop accepting; keep live conversations
+	drained := s.worker.drain(grace)
+	// Let replies written just after the last handler returned reach the
+	// wire before severing.
+	time.Sleep(50 * time.Millisecond)
+	s.wl.Close()
+	if !drained {
+		return codeErr(CodeUnavailable, "worker: grace period expired with compiles in flight")
 	}
-	p := &RPCPool{
-		free:    make(chan *rpc.Client, len(addrs)),
-		has:     make(map[*rpc.Client]map[fcache.SourceHash]bool),
-		noCache: make(map[*rpc.Client]bool),
-	}
-	for _, a := range addrs {
-		c, err := rpc.Dial("tcp", a)
-		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("cluster: dialing %s: %w", a, err)
-		}
-		var ok bool
-		if err := c.Call("Worker.Ping", struct{}{}, &ok); err != nil || !ok {
-			p.Close()
-			return nil, fmt.Errorf("cluster: worker %s not responding: %v", a, err)
-		}
-		p.clients = append(p.clients, c)
-		p.has[c] = make(map[fcache.SourceHash]bool)
-		p.free <- c
-	}
-	return p, nil
-}
-
-// Workers returns the number of connected workers.
-func (p *RPCPool) Workers() int { return len(p.clients) }
-
-// knows reports whether c is believed to hold the source for h.
-func (p *RPCPool) knows(c *rpc.Client, h fcache.SourceHash) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.has[c][h]
-}
-
-// push installs the source on worker c and records that it holds it.
-func (p *RPCPool) push(c *rpc.Client, h fcache.SourceHash, src []byte) error {
-	var ok bool
-	if err := c.Call("Worker.StoreSource", SourceBlob{Hash: h, Source: src}, &ok); err != nil {
-		return err
-	}
-	p.mu.Lock()
-	if p.has[c] != nil {
-		p.has[c][h] = true
-	}
-	p.mu.Unlock()
 	return nil
 }
 
-// Compile sends the request to the next free worker. The source is pushed
-// at most once per (worker, module); every later request carries only the
-// content hash — the paper's workstations likewise fetched the source from
-// the shared file server rather than receiving it in each message.
-func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
-	c := <-p.free
-	defer func() { p.free <- c }()
+// ServeWorker listens on addr (e.g. "127.0.0.1:0") and serves compile
+// requests with a default-sized per-process cache until the listener is
+// closed. It returns the bound address.
+func ServeWorker(addr string) (net.Listener, string, error) {
+	return ServeWorkerWith(addr, 0)
+}
 
-	src := req.Source
-	if req.SourceHash.IsZero() && len(src) > 0 {
-		req.SourceHash = fcache.HashSource(src)
-	}
-	h := req.SourceHash
-
-	// Decide whether this request can travel hash-only.
-	lean, saved := false, false
-	if len(src) > 0 && !p.cacheDisabled(c) {
-		if p.knows(c, h) {
-			lean, saved = true, true
-		} else {
-			switch err := p.push(c, h, src); {
-			case err == nil:
-				lean = true
-			case IsCacheDisabled(err):
-				p.markCacheDisabled(c)
-			default:
-				return nil, err
-			}
-		}
-	}
-
-	send := req
-	if lean {
-		send.Source = nil
-	}
-	var reply core.CompileReply
-	err := c.Call("Worker.Compile", send, &reply)
-	if lean && IsMissingSource(err) {
-		// The worker evicted the source between our push and its lookup:
-		// re-push and retry once with the full source for good measure.
-		saved = false
-		if perr := p.push(c, h, src); perr != nil && !IsCacheDisabled(perr) {
-			return nil, perr
-		}
-		reply = core.CompileReply{}
-		err = c.Call("Worker.Compile", req, &reply)
-	}
+// ServeWorkerWith is ServeWorker with an explicit cache budget in bytes
+// (0 selects the default; negative disables caching).
+func ServeWorkerWith(addr string, cacheBytes int64) (net.Listener, string, error) {
+	srv, err := NewWorkerServer(addr, cacheBytes)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	if saved {
-		p.mu.Lock()
-		p.bytesSaved += int64(len(src))
-		p.mu.Unlock()
-	}
-	return &reply, nil
-}
-
-// cacheDisabled reports whether worker c rejected caching.
-func (p *RPCPool) cacheDisabled(c *rpc.Client) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.noCache[c]
-}
-
-// markCacheDisabled remembers that worker c is uncached, so the pool sends
-// it the full source from then on.
-func (p *RPCPool) markCacheDisabled(c *rpc.Client) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.noCache[c] = true
-}
-
-// CacheStats aggregates the workers' cache counters and adds the pool's own
-// wire savings. Workers that cannot be reached contribute nothing.
-func (p *RPCPool) CacheStats() fcache.Stats {
-	var s fcache.Stats
-	for _, c := range p.clients {
-		var ws fcache.Stats
-		if err := c.Call("Worker.CacheStats", struct{}{}, &ws); err == nil {
-			s.Add(ws)
-		}
-	}
-	p.mu.Lock()
-	s.RPCBytesSaved += p.bytesSaved
-	p.mu.Unlock()
-	return s
-}
-
-// Close tears down all connections.
-func (p *RPCPool) Close() {
-	for _, c := range p.clients {
-		c.Close()
-	}
-	p.clients = nil
+	return srv.wl, srv.addr, nil
 }
 
 var _ core.Backend = (*LocalPool)(nil)
-var _ core.Backend = (*RPCPool)(nil)
 var _ core.CacheProvider = (*LocalPool)(nil)
 var _ core.CacheStatser = (*LocalPool)(nil)
-var _ core.CacheStatser = (*RPCPool)(nil)

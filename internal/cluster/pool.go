@@ -1,0 +1,593 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fcache"
+)
+
+// PoolOptions configures the RPCPool's fault-tolerant dispatch. The zero
+// value selects defaults; negative values disable the corresponding
+// mechanism where noted.
+type PoolOptions struct {
+	// CallTimeout is the per-RPC deadline. A call that exceeds it is
+	// abandoned, its connection severed, and the request failed over.
+	// 0 selects the default (30s); negative disables deadlines.
+	CallTimeout time.Duration
+	// MaxRetries bounds how many times one request is re-dispatched after
+	// transient failures before the pool gives up on remote execution.
+	// 0 selects the default (3); negative disables retries.
+	MaxRetries int
+	// QuarantineAfter is the number of consecutive failures after which a
+	// worker is quarantined (removed from rotation until a readmission
+	// probe succeeds). 0 selects the default (2); negative means workers
+	// are only quarantined when they become unreachable.
+	QuarantineAfter int
+	// RetryBase and RetryMax shape the capped exponential backoff between
+	// retries (half fixed, half seeded jitter). Defaults 10ms and 500ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// DialRetry is the period of the background goroutine that re-dials
+	// quarantined workers and readmits responders. 0 selects the default
+	// (500ms); negative disables readmission.
+	DialRetry time.Duration
+	// DialTimeout bounds each connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// DisableFallback, when set, makes the pool return an error instead of
+	// compiling in-process when no remote worker is available.
+	DisableFallback bool
+	// Seed seeds the backoff jitter so tests are deterministic. 0 selects
+	// the fixed default seed.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.QuarantineAfter == 0 {
+		o.QuarantineAfter = 2
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 500 * time.Millisecond
+	}
+	if o.DialRetry == 0 {
+		o.DialRetry = 500 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// poolWorker is the pool's view of one remote workstation: its address
+// (stable across restarts), the current client (nil while quarantined), and
+// the cache-protocol state that was previously keyed by client pointer —
+// reset on every re-dial, because a restarted worker has an empty cache.
+type poolWorker struct {
+	addr string
+
+	mu          sync.Mutex
+	client      *rpc.Client
+	fails       int // consecutive transient failures
+	quarantined bool
+	has         map[fcache.SourceHash]bool
+	noCache     bool
+}
+
+func (w *poolWorker) isQuarantined() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.quarantined
+}
+
+// setClient installs a fresh connection and resets the per-connection
+// cache-protocol state.
+func (w *poolWorker) setClient(c *rpc.Client) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.client = c
+	w.has = make(map[fcache.SourceHash]bool)
+	w.noCache = false
+}
+
+func (w *poolWorker) getClient() *rpc.Client {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.client
+}
+
+func (w *poolWorker) knows(h fcache.SourceHash) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.has[h]
+}
+
+func (w *poolWorker) markKnows(h fcache.SourceHash) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.has != nil {
+		w.has[h] = true
+	}
+}
+
+func (w *poolWorker) cacheDisabled() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.noCache
+}
+
+func (w *poolWorker) markCacheDisabled() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.noCache = true
+}
+
+// RPCPool dispatches compile requests to remote workers over net/rpc with
+// FCFS placement: a request takes the first worker that frees up. The pool
+// remembers which workers hold which sources and sends hash-only requests
+// whenever it can.
+//
+// Dispatch is fault-tolerant. Compile requests are pure functions of
+// (source hash, section, index, options), so on a deadline or transport
+// error the pool replays the request on another free worker with capped
+// exponential backoff. Workers failing repeatedly are quarantined; a
+// background goroutine re-dials them and readmits responders, so a worker
+// restarted on the same address rejoins the pool. When every worker is
+// quarantined the pool compiles in-process (unless disabled), so the
+// compilation completes even with the whole cluster down.
+type RPCPool struct {
+	opts    PoolOptions
+	workers []*poolWorker
+	free    chan *poolWorker
+	closed  chan struct{}
+
+	closeOnce  sync.Once
+	bytesSaved int64 // atomic
+
+	fallbackOnce  sync.Once
+	fallbackCache *fcache.Cache
+
+	mu      sync.Mutex
+	healthy int // workers not quarantined (free or checked out)
+	rng     *rand.Rand
+	stats   core.FaultStats
+}
+
+// DialPool connects to the given worker addresses with default options.
+func DialPool(addrs []string) (*RPCPool, error) {
+	return DialPoolWith(addrs, PoolOptions{})
+}
+
+// DialPoolWith connects to the given worker addresses. Unreachable workers
+// do not abort the dial: they start quarantined and the readmission probe
+// picks them up when they come back — a degraded start. Only when no worker
+// at all is reachable does DialPoolWith return an error.
+func DialPoolWith(addrs []string, opts PoolOptions) (*RPCPool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	opts = opts.withDefaults()
+	p := &RPCPool{
+		opts:   opts,
+		free:   make(chan *poolWorker, len(addrs)),
+		closed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+	var firstErr error
+	for _, a := range addrs {
+		w := &poolWorker{addr: a}
+		p.workers = append(p.workers, w)
+		c, err := p.dialWorker(a)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			w.quarantined = true
+			p.stats.Quarantines++
+			p.stats.Warnings = append(p.stats.Warnings,
+				fmt.Sprintf("worker %s unreachable at start, quarantined: %v", a, err))
+			continue
+		}
+		w.setClient(c)
+		p.healthy++
+		p.free <- w
+	}
+	if p.healthy == 0 {
+		p.Close()
+		return nil, fmt.Errorf("cluster: no reachable workers: %w", firstErr)
+	}
+	if p.opts.DialRetry > 0 {
+		go p.readmitLoop()
+	}
+	return p, nil
+}
+
+// dialWorker connects to addr and verifies liveness with a Ping.
+func (p *RPCPool) dialWorker(addr string) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, p.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing %s: %w", addr, err)
+	}
+	c := rpc.NewClient(conn)
+	var ok bool
+	if err := callTimeout(c, "Worker.Ping", struct{}{}, &ok, p.opts.CallTimeout); err != nil || !ok {
+		c.Close()
+		return nil, fmt.Errorf("cluster: worker %s not responding: %v", addr, err)
+	}
+	return c, nil
+}
+
+// Workers returns the number of configured workers (healthy or not).
+func (p *RPCPool) Workers() int { return len(p.workers) }
+
+// Healthy returns the number of workers currently in rotation.
+func (p *RPCPool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}
+
+// FaultStats reports the dispatch layer's fault-handling counters.
+func (p *RPCPool) FaultStats() core.FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Warnings = append([]string(nil), p.stats.Warnings...)
+	return s
+}
+
+// callTimeout issues one RPC with a deadline. On expiry the client is
+// closed: net/rpc has no cancellation, so severing the transport is the
+// only way to guarantee the abandoned handler can't complete the call
+// later. ErrDeadline is wrapped for errors.Is classification.
+func callTimeout(c *rpc.Client, method string, args, reply any, d time.Duration) error {
+	if d < 0 {
+		return c.Call(method, args, reply)
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-t.C:
+		c.Close()
+		return fmt.Errorf("%w: %s after %v", ErrDeadline, method, d)
+	}
+}
+
+// call issues one RPC on w with the pool's deadline, counting deadline hits.
+func (p *RPCPool) call(w *poolWorker, method string, args, reply any) error {
+	c := w.getClient()
+	if c == nil {
+		return rpc.ErrShutdown
+	}
+	err := callTimeout(c, method, args, reply, p.opts.CallTimeout)
+	if errors.Is(err, ErrDeadline) {
+		p.mu.Lock()
+		p.stats.DeadlineHits++
+		p.mu.Unlock()
+	}
+	return err
+}
+
+// Compile sends the request to a free worker, failing over with backoff on
+// transient errors — the request is a pure function of (source hash,
+// options), so replaying it elsewhere is safe. When every worker is
+// quarantined (or retries are exhausted) the pool compiles in-process so
+// the compilation completes anyway, mirroring how the paper's pmake fell
+// back to plain make when the network was sick.
+func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
+	if req.SourceHash.IsZero() && len(req.Source) > 0 {
+		req.SourceHash = fcache.HashSource(req.Source)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		w := p.acquire()
+		if w == nil {
+			return p.fallback(req, lastErr)
+		}
+		reply, err := p.compileOn(w, req)
+		if err == nil {
+			p.release(w)
+			if attempt > 0 {
+				p.mu.Lock()
+				p.stats.Failovers++
+				p.mu.Unlock()
+			}
+			return reply, nil
+		}
+		if !transient(err) {
+			// The worker answered deterministically (compile error, bad
+			// request): it is healthy, the request is not.
+			p.release(w)
+			return nil, err
+		}
+		lastErr = err
+		p.penalize(w, err)
+		if attempt >= p.opts.MaxRetries {
+			return p.fallback(req, lastErr)
+		}
+		p.mu.Lock()
+		p.stats.Retries++
+		p.mu.Unlock()
+		p.sleepBackoff(attempt + 1)
+	}
+}
+
+// acquire returns the next free worker, or nil when every worker is
+// quarantined (no recovery is coming except through the readmission probe,
+// which re-fills the free channel and flips the healthy counter).
+func (p *RPCPool) acquire() *poolWorker {
+	for {
+		select {
+		case w := <-p.free:
+			return w
+		default:
+		}
+		if p.Healthy() == 0 {
+			return nil
+		}
+		select {
+		case w := <-p.free:
+			return w
+		case <-p.closed:
+			return nil
+		case <-time.After(5 * time.Millisecond):
+			// Re-check: a checked-out worker may have been quarantined
+			// while we waited, leaving nothing to wait for.
+		}
+	}
+}
+
+// release returns a worker that served successfully to the free ring.
+func (p *RPCPool) release(w *poolWorker) {
+	w.mu.Lock()
+	w.fails = 0
+	w.mu.Unlock()
+	p.free <- w
+}
+
+// penalize handles a transient failure on a checked-out worker: the broken
+// connection is dropped, and the worker is either re-dialed back into
+// rotation (transient blip) or quarantined (consecutive failures, or
+// unreachable). The caller must not use w afterwards.
+func (p *RPCPool) penalize(w *poolWorker, cause error) {
+	w.mu.Lock()
+	w.fails++
+	fails := w.fails
+	if w.client != nil {
+		w.client.Close()
+		w.client = nil
+	}
+	w.mu.Unlock()
+
+	if p.opts.QuarantineAfter > 0 && fails >= p.opts.QuarantineAfter {
+		p.quarantine(w, cause)
+		return
+	}
+	// One strike: try to re-dial immediately so a connection blip does not
+	// cost us the worker. An unreachable worker goes straight to
+	// quarantine — no point keeping a dead address in rotation.
+	if c, err := p.dialWorker(w.addr); err == nil {
+		w.setClient(c)
+		p.free <- w
+		return
+	}
+	p.quarantine(w, cause)
+}
+
+// quarantine removes w from rotation (it is checked out, so simply not
+// returning it to the free ring suffices) and records the event.
+func (p *RPCPool) quarantine(w *poolWorker, cause error) {
+	w.mu.Lock()
+	w.quarantined = true
+	w.mu.Unlock()
+	p.mu.Lock()
+	p.healthy--
+	p.stats.Quarantines++
+	p.stats.Warnings = append(p.stats.Warnings,
+		fmt.Sprintf("worker %s quarantined: %v", w.addr, cause))
+	p.mu.Unlock()
+}
+
+// readmitLoop periodically re-dials quarantined workers and readmits the
+// ones that answer — a worker restarted on the same address rejoins the
+// pool without operator action.
+func (p *RPCPool) readmitLoop() {
+	t := time.NewTicker(p.opts.DialRetry)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.closed:
+			return
+		case <-t.C:
+		}
+		for _, w := range p.workers {
+			if !w.isQuarantined() {
+				continue
+			}
+			c, err := p.dialWorker(w.addr)
+			if err != nil {
+				continue
+			}
+			w.mu.Lock()
+			w.quarantined = false
+			w.fails = 0
+			w.mu.Unlock()
+			w.setClient(c)
+			p.mu.Lock()
+			p.healthy++
+			p.stats.Readmissions++
+			p.mu.Unlock()
+			select {
+			case <-p.closed:
+				c.Close()
+				return
+			default:
+				p.free <- w
+			}
+		}
+	}
+}
+
+// sleepBackoff waits before retry n (1-based): capped exponential, half
+// fixed and half seeded jitter, interruptible by Close.
+func (p *RPCPool) sleepBackoff(n int) {
+	d := p.opts.RetryBase << uint(n-1)
+	if d > p.opts.RetryMax || d <= 0 {
+		d = p.opts.RetryMax
+	}
+	p.mu.Lock()
+	jitter := time.Duration(p.rng.Int63n(int64(d)/2 + 1))
+	p.mu.Unlock()
+	t := time.NewTimer(d/2 + jitter)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-p.closed:
+	}
+}
+
+// fallback compiles the request in-process — the graceful-degradation tail
+// when no remote worker is available. All fallbacks share one cache so a
+// whole module falling back parses once, like a LocalPool.
+func (p *RPCPool) fallback(req core.CompileRequest, cause error) (*core.CompileReply, error) {
+	if p.opts.DisableFallback {
+		if cause != nil {
+			return nil, fmt.Errorf("cluster: no workers available (local fallback disabled): %w", cause)
+		}
+		return nil, fmt.Errorf("cluster: all workers quarantined (local fallback disabled)")
+	}
+	if len(req.Source) == 0 {
+		return nil, fmt.Errorf("cluster: cannot fall back locally without source (hash %s)", req.SourceHash)
+	}
+	p.fallbackOnce.Do(func() { p.fallbackCache = fcache.New(fcache.DefaultMaxBytes) })
+	p.mu.Lock()
+	p.stats.LocalFallbacks++
+	why := "all workers quarantined"
+	if cause != nil {
+		why = cause.Error()
+	}
+	p.stats.Warnings = append(p.stats.Warnings,
+		fmt.Sprintf("compiled s%d/#%d in-process (%s)", req.Section, req.Index, why))
+	p.mu.Unlock()
+	return core.RunFunctionMasterWith(req, p.fallbackCache)
+}
+
+// compileOn runs the cache-protocol dance and the Compile RPC on one
+// worker. The source is pushed at most once per (worker, module); every
+// later request carries only the content hash — the paper's workstations
+// likewise fetched the source from the shared file server rather than
+// receiving it in each message.
+func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.CompileReply, error) {
+	src := req.Source
+	h := req.SourceHash
+
+	// Decide whether this request can travel hash-only.
+	lean, saved := false, false
+	if len(src) > 0 && !w.cacheDisabled() {
+		if w.knows(h) {
+			lean, saved = true, true
+		} else {
+			switch err := p.push(w, h, src); {
+			case err == nil:
+				lean = true
+			case IsCacheDisabled(err):
+				w.markCacheDisabled()
+			default:
+				return nil, err
+			}
+		}
+	}
+
+	send := req
+	if lean {
+		send.Source = nil
+	}
+	var reply core.CompileReply
+	err := p.call(w, "Worker.Compile", send, &reply)
+	if lean && IsMissingSource(err) {
+		// The worker evicted the source between our push and its lookup:
+		// re-push and retry once with the full source for good measure.
+		saved = false
+		if perr := p.push(w, h, src); perr != nil && !IsCacheDisabled(perr) {
+			return nil, perr
+		}
+		reply = core.CompileReply{}
+		err = p.call(w, "Worker.Compile", req, &reply)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if saved {
+		atomic.AddInt64(&p.bytesSaved, int64(len(src)))
+	}
+	return &reply, nil
+}
+
+// push installs the source on worker w and records that it holds it.
+func (p *RPCPool) push(w *poolWorker, h fcache.SourceHash, src []byte) error {
+	var ok bool
+	if err := p.call(w, "Worker.StoreSource", SourceBlob{Hash: h, Source: src}, &ok); err != nil {
+		return err
+	}
+	w.markKnows(h)
+	return nil
+}
+
+// CacheStats aggregates the workers' cache counters and adds the pool's own
+// wire savings. Workers that cannot be reached contribute nothing.
+func (p *RPCPool) CacheStats() fcache.Stats {
+	var s fcache.Stats
+	for _, w := range p.workers {
+		c := w.getClient()
+		if c == nil {
+			continue
+		}
+		var ws fcache.Stats
+		if err := callTimeout(c, "Worker.CacheStats", struct{}{}, &ws, p.opts.CallTimeout); err == nil {
+			s.Add(ws)
+		}
+	}
+	s.RPCBytesSaved += atomic.LoadInt64(&p.bytesSaved)
+	return s
+}
+
+// Close tears down all connections and stops the readmission probe.
+func (p *RPCPool) Close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+	for _, w := range p.workers {
+		w.mu.Lock()
+		if w.client != nil {
+			w.client.Close()
+			w.client = nil
+		}
+		w.mu.Unlock()
+	}
+}
+
+var _ core.Backend = (*RPCPool)(nil)
+var _ core.CacheStatser = (*RPCPool)(nil)
+var _ core.FaultStatser = (*RPCPool)(nil)

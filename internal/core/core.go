@@ -86,6 +86,49 @@ type CacheStatser interface {
 	CacheStats() fcache.Stats
 }
 
+// FaultStats records a backend's fault-handling activity: how often the
+// dispatch layer retried, failed over, quarantined or readmitted workers,
+// hit call deadlines, or fell back to compiling in-process. Counters are
+// cumulative over the backend's lifetime, like cache stats. A healthy
+// cluster reports all zeros.
+type FaultStats struct {
+	// Retries counts requests re-dispatched after a transient failure.
+	Retries int64
+	// Failovers counts requests that ultimately succeeded after at least
+	// one retry — the recovery the paper's system did not have.
+	Failovers int64
+	// Quarantines counts workers removed from rotation after consecutive
+	// failures; Readmissions counts workers probed back into rotation.
+	Quarantines  int64
+	Readmissions int64
+	// LocalFallbacks counts requests compiled in-process because no remote
+	// worker was available.
+	LocalFallbacks int64
+	// DeadlineHits counts calls abandoned because they exceeded the
+	// per-call deadline (hung or overloaded worker).
+	DeadlineHits int64
+	// Warnings carries human-readable notes about degraded operation
+	// (worker quarantined, compile fell back to local, degraded start).
+	Warnings []string
+}
+
+// Any reports whether any fault-handling activity occurred.
+func (s FaultStats) Any() bool {
+	return s.Retries+s.Failovers+s.Quarantines+s.Readmissions+s.LocalFallbacks+s.DeadlineHits > 0
+}
+
+// String renders the counters compactly.
+func (s FaultStats) String() string {
+	return fmt.Sprintf("retries=%d failovers=%d quarantines=%d readmissions=%d local-fallbacks=%d deadline-hits=%d",
+		s.Retries, s.Failovers, s.Quarantines, s.Readmissions, s.LocalFallbacks, s.DeadlineHits)
+}
+
+// FaultStatser is implemented by backends with a fault-tolerant dispatch
+// layer (cluster.RPCPool).
+type FaultStatser interface {
+	FaultStats() FaultStats
+}
+
 // RunFunctionMaster executes one compile request in the current process,
 // re-deriving everything from source — the uncached behavior of the paper's
 // function masters, which share only the file system.
@@ -207,6 +250,10 @@ type ParallelStats struct {
 	// the backend's lifetime, not just this compilation); zero when the
 	// backend is uncached.
 	Cache fcache.Stats
+	// Faults reports the backend's fault-handling counters and degraded-
+	// operation warnings (cumulative, like Cache); zero for backends
+	// without a fault-tolerant dispatch layer.
+	Faults FaultStats
 }
 
 // TotalFuncCPU sums all function masters' CPU time.
@@ -326,6 +373,9 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 	stats.Elapsed = time.Since(start)
 	if cs, ok := backend.(CacheStatser); ok {
 		stats.Cache = cs.CacheStats()
+	}
+	if fs, ok := backend.(FaultStatser); ok {
+		stats.Faults = fs.FaultStats()
 	}
 	return res, stats, nil
 }
