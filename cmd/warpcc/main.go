@@ -11,6 +11,8 @@
 //	-mode seq|par|rpc     compilation mode (default seq)
 //	-j N                  worker count for -mode par (default 4)
 //	-workers host:port,.. worker addresses for -mode rpc
+//	-sched fcfs|lpt       dispatch ordering (default lpt: cost-model + batching)
+//	-batch-threshold C    estimated-cost cutoff for batching (0 disables)
 //	-call-timeout D       per-RPC deadline for -mode rpc (0 disables)
 //	-max-retries N        failover attempts per request for -mode rpc
 //	-dial-retry D         readmission probe period for quarantined workers
@@ -53,6 +55,9 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
 		showStats  = flag.Bool("stats", false, "print per-function statistics")
 
+		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
+		batchThreshold = flag.Float64("batch-threshold", core.DefaultBatchThreshold, "estimated-cost cutoff below which functions are batched (0 disables batching)")
+
 		callTimeout = flag.Duration("call-timeout", 30*time.Second, "per-RPC deadline for -mode rpc (0 disables)")
 		maxRetries  = flag.Int("max-retries", 3, "max failover attempts per request for -mode rpc (0 disables)")
 		dialRetry   = flag.Duration("dial-retry", 500*time.Millisecond, "probe period for readmitting quarantined workers (0 disables)")
@@ -75,6 +80,19 @@ func main() {
 		DisableScheduling: *noSched,
 	}}
 
+	copts := core.ParallelOptions{BatchThreshold: *batchThreshold}
+	switch *schedName {
+	case "fcfs":
+		copts.Sched = core.SchedFCFS
+	case "lpt":
+		copts.Sched = core.SchedLPT
+	default:
+		fatal(fmt.Errorf("unknown -sched %q (want fcfs or lpt)", *schedName))
+	}
+	if *batchThreshold == 0 {
+		copts.BatchThreshold = -1 // the flag's 0 means "no batching"
+	}
+
 	var res *compiler.Result
 	switch *mode {
 	case "seq":
@@ -87,11 +105,9 @@ func main() {
 			pool = cluster.NewLocalPool(*jobs)
 		}
 		var pstats *core.ParallelStats
-		res, pstats, err = core.ParallelCompile(file, src, pool, opts)
+		res, pstats, err = core.ParallelCompileWith(file, src, pool, opts, copts)
 		if err == nil && *showStats {
-			fmt.Printf("parallel: %d workers, elapsed %v, setup %v\n",
-				pstats.Workers, pstats.Elapsed.Round(1000), pstats.SetupTime.Round(1000))
-			fmt.Printf("cache: %s\n", pstats.Cache)
+			printParallelStats(pstats)
 		}
 	case "rpc":
 		if *workers == "" {
@@ -122,14 +138,13 @@ func main() {
 				pool.Healthy(), pool.Workers())
 		}
 		var pstats *core.ParallelStats
-		res, pstats, err = core.ParallelCompile(file, src, pool, opts)
+		res, pstats, err = core.ParallelCompileWith(file, src, pool, opts, copts)
 		if err == nil {
 			for _, w := range pstats.Faults.Warnings {
 				fmt.Fprintln(os.Stderr, "warpcc: degraded:", w)
 			}
 			if *showStats {
-				fmt.Printf("cache: %s\n", pstats.Cache)
-				fmt.Printf("dispatch: %s\n", pstats.Faults)
+				printParallelStats(pstats)
 			}
 		}
 	default:
@@ -208,6 +223,22 @@ func main() {
 			fmt.Printf("  cell %d: %.1f%% utilization (%d executed, %d stalled)\n",
 				i, 100*cs.Utilization(st.Cycles+1), cs.Executed, cs.Stalled)
 		}
+	}
+}
+
+// printParallelStats renders the timing breakdown, scheduling decisions,
+// and backend counters of one parallel compilation.
+func printParallelStats(s *core.ParallelStats) {
+	fmt.Printf("parallel: %d workers, elapsed %v, setup %v, frontend %v\n",
+		s.Workers, s.Elapsed.Round(1000), s.SetupTime.Round(1000), s.FrontendTime.Round(1000))
+	fmt.Printf("timing: dispatch %v, compile-wall %v, tail %v\n",
+		s.DispatchTime.Round(1000), s.CompileWallTime.Round(1000), s.BackendTail.Round(1000))
+	d := s.Dispatch
+	fmt.Printf("schedule: policy=%s threshold=%.0f units=%d batches=%d batched-funcs=%d rank-corr=%.2f\n",
+		d.Policy, d.BatchThreshold, d.Units, d.Batches, d.BatchedFuncs, d.RankCorr)
+	fmt.Printf("cache: %s\n", s.Cache)
+	if s.Faults.Any() {
+		fmt.Printf("faults: %s\n", s.Faults)
 	}
 }
 

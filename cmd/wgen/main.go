@@ -7,6 +7,7 @@
 //	wgen -kind sn -size medium -n 4        # S_4 of f_medium
 //	wgen -kind sections -size small -n 3   # 3-section pipeline
 //	wgen -kind user                        # the §4.3 user program
+//	wgen -small-funcs 32                   # 32 tiny functions (worst case)
 package main
 
 import (
@@ -21,7 +22,13 @@ func main() {
 	kind := flag.String("kind", "sn", "workload kind: sn, sections, or user")
 	sizeName := flag.String("size", "medium", "function size: tiny, small, medium, large, huge")
 	n := flag.Int("n", 1, "number of functions (sn) or sections (sections)")
+	smallFuncs := flag.Int("small-funcs", 0, "emit a module of N tiny functions (the paper's worst case); overrides -kind")
 	flag.Parse()
+
+	if *smallFuncs > 0 {
+		os.Stdout.Write(wgen.SmallFuncsProgram(*smallFuncs))
+		return
+	}
 
 	var size wgen.Size
 	switch *sizeName {

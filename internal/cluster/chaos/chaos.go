@@ -1,14 +1,15 @@
 // Package chaos is a deterministic fault-injection harness for the cluster
 // dispatch layer. It serves the real cluster.Worker RPC surface but routes
-// every Compile through a fault plan that can delay the reply, hang past
-// the caller's deadline, answer with an injected error, or drop the
-// underlying connection mid-call — the failure modes of the paper's shared
-// workstation fleet (loaded, rebooted, or unreachable machines), scripted
-// so tests can drive each recovery path on purpose.
+// every Compile and CompileBatch through a fault plan that can delay the
+// reply, hang past the caller's deadline, answer with an injected error, or
+// drop the underlying connection mid-call — the failure modes of the
+// paper's shared workstation fleet (loaded, rebooted, or unreachable
+// machines), scripted so tests can drive each recovery path on purpose.
 //
 // Plans are either scripted (an explicit fault sequence, then pass-through)
 // or seeded-random (reproducible chaos for soak tests). Faults apply per
-// Compile call in global arrival order across all connections.
+// call in global arrival order across all connections; a batch draws one
+// fault for the whole unit.
 package chaos
 
 import (
@@ -208,7 +209,10 @@ type faultyWorker struct {
 	conn net.Conn
 }
 
-func (f *faultyWorker) Compile(req core.CompileRequest, reply *core.CompileReply) error {
+// inject applies the plan's next fault. It returns a non-nil error when the
+// fault decides the call; a nil error means pass the call through (possibly
+// after a delay) to the real worker.
+func (f *faultyWorker) inject() error {
 	switch ft := f.s.plan.take(); ft.Kind {
 	case Delay:
 		f.sleep(ft.D)
@@ -229,7 +233,23 @@ func (f *faultyWorker) Compile(req core.CompileRequest, reply *core.CompileReply
 		f.conn.Close()
 		return errors.New("chaos: connection dropped")
 	}
+	return nil
+}
+
+func (f *faultyWorker) Compile(req core.CompileRequest, reply *core.CompileReply) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
 	return f.s.worker.Compile(req, reply)
+}
+
+// CompileBatch draws one fault per batch — a faulted batch fails (or hangs,
+// or drops) whole, driving the client's split-retry path.
+func (f *faultyWorker) CompileBatch(req core.BatchRequest, reply *cluster.BatchReply) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
+	return f.s.worker.CompileBatch(req, reply)
 }
 
 // sleep waits for d or until the server closes, whichever comes first.

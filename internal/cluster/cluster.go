@@ -77,6 +77,15 @@ func (p *LocalPool) Compile(req core.CompileRequest) (*core.CompileReply, error)
 	return core.RunFunctionMasterWith(req, p.cache)
 }
 
+// CompileBatch runs a whole dispatch unit on the next free worker: the batch
+// occupies one processor for its duration, exactly as a single function
+// would, so packing small functions costs one slot instead of N.
+func (p *LocalPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, error) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	return core.RunBatchWith(req, p.cache)
+}
+
 // ---------------------------------------------------------------------------
 // RPC worker (the "workstation" daemon)
 
@@ -163,6 +172,44 @@ func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) erro
 		return codeErr(CodeCompile, "%v", err)
 	}
 	*reply = *r
+	return nil
+}
+
+// BatchReply is the Worker.CompileBatch reply: one compile reply per
+// requested item, in item order. Replies travel by value so the gob stream
+// never carries nil pointers.
+type BatchReply struct {
+	Replies []core.CompileReply
+}
+
+// CompileBatch compiles every item of the batch on this worker in one round
+// trip, amortizing the per-request overhead that dominates small functions.
+// Source-residency rules match Compile; replies align with req.Items. Any
+// item's compile error fails the whole batch with CodeCompile.
+func (w *Worker) CompileBatch(req core.BatchRequest, reply *BatchReply) error {
+	if !w.begin() {
+		return codeErr(CodeUnavailable, "worker: draining, not accepting new compiles")
+	}
+	defer w.inflight.Done()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(req.Source) == 0 {
+		src, ok := w.cache.Source(req.SourceHash)
+		if !ok {
+			return codeErr(CodeMissingSource, "worker: source not resident for hash %s", req.SourceHash)
+		}
+		req.Source = src
+	} else if !req.SourceHash.IsZero() {
+		w.cache.PutSource(req.SourceHash, req.Source)
+	}
+	rs, err := core.RunBatchWith(req, w.cache)
+	if err != nil {
+		return codeErr(CodeCompile, "%v", err)
+	}
+	reply.Replies = make([]core.CompileReply, len(rs))
+	for i, r := range rs {
+		reply.Replies[i] = *r
+	}
 	return nil
 }
 
@@ -320,5 +367,6 @@ func ServeWorkerWith(addr string, cacheBytes int64) (net.Listener, string, error
 }
 
 var _ core.Backend = (*LocalPool)(nil)
+var _ core.BatchBackend = (*LocalPool)(nil)
 var _ core.CacheProvider = (*LocalPool)(nil)
 var _ core.CacheStatser = (*LocalPool)(nil)

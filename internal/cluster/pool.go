@@ -165,8 +165,11 @@ type RPCPool struct {
 	closeOnce  sync.Once
 	bytesSaved int64 // atomic
 
-	fallbackOnce  sync.Once
-	fallbackCache *fcache.Cache
+	// masterCache serves the master process itself: ParallelCompile warms
+	// its frontend tier once per module (instead of re-running the full
+	// frontend every compilation), and local-fallback compiles share it so
+	// a whole module falling back parses once, like a LocalPool.
+	masterCache *fcache.Cache
 
 	mu      sync.Mutex
 	healthy int // workers not quarantined (free or checked out)
@@ -189,10 +192,11 @@ func DialPoolWith(addrs []string, opts PoolOptions) (*RPCPool, error) {
 	}
 	opts = opts.withDefaults()
 	p := &RPCPool{
-		opts:   opts,
-		free:   make(chan *poolWorker, len(addrs)),
-		closed: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(opts.Seed)),
+		opts:        opts,
+		free:        make(chan *poolWorker, len(addrs)),
+		closed:      make(chan struct{}),
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		masterCache: fcache.New(fcache.DefaultMaxBytes),
 	}
 	var firstErr error
 	for _, a := range addrs {
@@ -483,7 +487,6 @@ func (p *RPCPool) fallback(req core.CompileRequest, cause error) (*core.CompileR
 	if len(req.Source) == 0 {
 		return nil, fmt.Errorf("cluster: cannot fall back locally without source (hash %s)", req.SourceHash)
 	}
-	p.fallbackOnce.Do(func() { p.fallbackCache = fcache.New(fcache.DefaultMaxBytes) })
 	p.mu.Lock()
 	p.stats.LocalFallbacks++
 	why := "all workers quarantined"
@@ -493,7 +496,7 @@ func (p *RPCPool) fallback(req core.CompileRequest, cause error) (*core.CompileR
 	p.stats.Warnings = append(p.stats.Warnings,
 		fmt.Sprintf("compiled s%d/#%d in-process (%s)", req.Section, req.Index, why))
 	p.mu.Unlock()
-	return core.RunFunctionMasterWith(req, p.fallbackCache)
+	return core.RunFunctionMasterWith(req, p.masterCache)
 }
 
 // compileOn runs the cache-protocol dance and the Compile RPC on one
@@ -547,6 +550,152 @@ func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.Compi
 	return &reply, nil
 }
 
+// CompileBatch sends a multi-function dispatch unit to one free worker in a
+// single round trip. Failover is batch-aware: a transiently failed batch is
+// split in half and the halves retried concurrently on other workers,
+// bottoming out at single functions that reuse Compile's full
+// retry/backoff/fallback path. A deterministic answer (compile error, bad
+// request) fails the batch without any retry — every worker would answer
+// the same, and replaying a poisoned batch would just spread it.
+func (p *RPCPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, error) {
+	if req.SourceHash.IsZero() && len(req.Source) > 0 {
+		req.SourceHash = fcache.HashSource(req.Source)
+	}
+	if len(req.Items) == 0 {
+		return nil, nil
+	}
+	if len(req.Items) == 1 {
+		r, err := p.Compile(core.CompileRequest{
+			File:       req.File,
+			Source:     req.Source,
+			SourceHash: req.SourceHash,
+			Section:    req.Items[0].Section,
+			Index:      req.Items[0].Index,
+			Opts:       req.Opts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*core.CompileReply{r}, nil
+	}
+	w := p.acquire()
+	if w == nil {
+		// No worker in rotation: decompose so each function takes Compile's
+		// fallback path (shared in-process cache, one warning per function).
+		return p.splitBatch(req, nil)
+	}
+	replies, err := p.batchOn(w, req)
+	if err == nil {
+		p.release(w)
+		return replies, nil
+	}
+	if !transient(err) {
+		p.release(w)
+		return nil, err
+	}
+	p.penalize(w, err)
+	return p.splitBatch(req, err)
+}
+
+// splitBatch is the batch-failover step: halve the unit and retry both
+// halves concurrently on whatever workers remain. Recursion bottoms out at
+// singletons, which delegate to Compile.
+func (p *RPCPool) splitBatch(req core.BatchRequest, cause error) ([]*core.CompileReply, error) {
+	p.mu.Lock()
+	p.stats.BatchSplits++
+	p.stats.Retries++
+	why := "no workers in rotation"
+	if cause != nil {
+		why = cause.Error()
+	}
+	p.stats.Warnings = append(p.stats.Warnings,
+		fmt.Sprintf("batch of %d functions split for retry (%s)", len(req.Items), why))
+	p.mu.Unlock()
+
+	mid := len(req.Items) / 2
+	left, right := req, req
+	left.Items = req.Items[:mid]
+	right.Items = req.Items[mid:]
+	var (
+		wg          sync.WaitGroup
+		leftReplies []*core.CompileReply
+		leftErr     error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leftReplies, leftErr = p.CompileBatch(left)
+	}()
+	rightReplies, rightErr := p.CompileBatch(right)
+	wg.Wait()
+	if leftErr != nil {
+		return nil, leftErr
+	}
+	if rightErr != nil {
+		return nil, rightErr
+	}
+	p.mu.Lock()
+	p.stats.Failovers++
+	p.mu.Unlock()
+	return append(leftReplies, rightReplies...), nil
+}
+
+// batchOn runs the cache-protocol dance and the CompileBatch RPC on one
+// worker, mirroring compileOn: push the source at most once per (worker,
+// module), send hash-only whenever possible, re-push once on a missing-
+// source answer. A reply-count skew is returned as a plain (transport-
+// class) error so the caller's split-retry heals it.
+func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.CompileReply, error) {
+	src := req.Source
+	h := req.SourceHash
+
+	lean, saved := false, false
+	if len(src) > 0 && !w.cacheDisabled() {
+		if w.knows(h) {
+			lean, saved = true, true
+		} else {
+			switch err := p.push(w, h, src); {
+			case err == nil:
+				lean = true
+			case IsCacheDisabled(err):
+				w.markCacheDisabled()
+			default:
+				return nil, err
+			}
+		}
+	}
+
+	send := req
+	if lean {
+		send.Source = nil
+	}
+	var reply BatchReply
+	err := p.call(w, "Worker.CompileBatch", send, &reply)
+	if lean && IsMissingSource(err) {
+		saved = false
+		if perr := p.push(w, h, src); perr != nil && !IsCacheDisabled(perr) {
+			return nil, perr
+		}
+		reply = BatchReply{}
+		err = p.call(w, "Worker.CompileBatch", req, &reply)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Replies) != len(req.Items) {
+		return nil, fmt.Errorf("cluster: batch skew from %s: %d replies for %d items",
+			w.addr, len(reply.Replies), len(req.Items))
+	}
+	if saved {
+		atomic.AddInt64(&p.bytesSaved, int64(len(src)))
+	}
+	out := make([]*core.CompileReply, len(reply.Replies))
+	for i := range reply.Replies {
+		out[i] = &reply.Replies[i]
+	}
+	return out, nil
+}
+
 // push installs the source on worker w and records that it holds it.
 func (p *RPCPool) push(w *poolWorker, h fcache.SourceHash, src []byte) error {
 	var ok bool
@@ -556,6 +705,11 @@ func (p *RPCPool) push(w *poolWorker, h fcache.SourceHash, src []byte) error {
 	w.markKnows(h)
 	return nil
 }
+
+// Cache exposes the pool's master-side cache so ParallelCompile's own
+// phase 1 is cached across compilations — the master otherwise re-runs the
+// full frontend per build even though every worker caches it.
+func (p *RPCPool) Cache() *fcache.Cache { return p.masterCache }
 
 // CacheStats aggregates the workers' cache counters and adds the pool's own
 // wire savings. Workers that cannot be reached contribute nothing.
@@ -589,5 +743,7 @@ func (p *RPCPool) Close() {
 }
 
 var _ core.Backend = (*RPCPool)(nil)
+var _ core.BatchBackend = (*RPCPool)(nil)
+var _ core.CacheProvider = (*RPCPool)(nil)
 var _ core.CacheStatser = (*RPCPool)(nil)
 var _ core.FaultStatser = (*RPCPool)(nil)

@@ -42,7 +42,11 @@ type FuncResult struct {
 	Section int
 	IsEntry bool
 	Object  *asm.Object
-	Lines   int
+	// ObjectBytes is the wire encoding of Object, filled by the cached
+	// compile path so repeat requests for the same artifact do not re-encode
+	// it. Nil when the result came from an uncached compile.
+	ObjectBytes []byte
+	Lines       int
 
 	OptStats opt.Stats
 	GenStats codegen.GenStats
@@ -193,6 +197,9 @@ func CompileFunctionCached(cache *fcache.Cache, h fcache.SourceHash, m *ast.Modu
 		if err != nil {
 			return nil, 0, err
 		}
+		// Encode once at build time: the wire form is as pure a function of
+		// the inputs as the object, and every RPC reply needs it.
+		fr.ObjectBytes = asm.Encode(fr.Object)
 		return fr, objectCost(fr), nil
 	})
 	if err != nil {
@@ -206,12 +213,19 @@ func CompileFunctionCached(cache *fcache.Cache, h fcache.SourceHash, m *ast.Modu
 	return &fr, nil
 }
 
-// optsKey fingerprints an Options value for the object-tier cache key.
-func optsKey(opts Options) string { return fmt.Sprintf("%+v", opts) }
+// optsKey fingerprints an Options value for the object-tier cache key. The
+// zero value — every production compile — short-circuits past the reflective
+// formatting, which otherwise costs more than the cache hit it keys.
+func optsKey(opts Options) string {
+	if opts == (Options{}) {
+		return "default"
+	}
+	return fmt.Sprintf("%+v", opts)
+}
 
 // objectCost estimates the resident cost of a finished FuncResult.
 func objectCost(fr *FuncResult) int64 {
-	cost := int64(1024)
+	cost := int64(1024) + int64(len(fr.ObjectBytes))
 	if fr.Object != nil {
 		cost += 64 * int64(len(fr.Object.Code))
 	}

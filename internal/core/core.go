@@ -5,9 +5,11 @@
 //	                                structure, aborts on any front-end
 //	                                error, forks the section masters, and
 //	                                runs the sequential phase-4 tail.
-//	section masters (one/section)   fork one function master per function
-//	                                of their section, then combine the
-//	                                objects and diagnostic output.
+//	section masters (one/section)   plan dispatch units from the structural
+//	                                outline (large functions first, small
+//	                                ones batched), fork one dispatcher per
+//	                                unit, then combine objects and
+//	                                diagnostics as replies stream in.
 //	function masters(one/function)  run phases 2+3 for one function on
 //	                                some workstation of the backend.
 //
@@ -64,6 +66,31 @@ type CompileReply struct {
 	Warnings    []string
 }
 
+// BatchItem names one function inside a batch request by position.
+type BatchItem struct {
+	Section int // 1-based section index
+	Index   int // 0-based function position within the section
+}
+
+// BatchRequest asks one worker to compile several functions of the same
+// module in a single round trip, amortizing the per-request overhead that
+// dominates small functions (the paper's headline negative result: up to
+// 70% of elapsed time). Source/SourceHash follow CompileRequest's rules.
+type BatchRequest struct {
+	File       string
+	Source     []byte
+	SourceHash fcache.SourceHash
+	Items      []BatchItem
+	Opts       compiler.Options
+}
+
+// BatchBackend is implemented by backends that can run a multi-function
+// dispatch unit in one request. Replies are returned aligned with
+// req.Items: reply i answers item i.
+type BatchBackend interface {
+	CompileBatch(req BatchRequest) ([]*CompileReply, error)
+}
+
 // Backend runs compile requests on some processor. Implementations must be
 // safe for concurrent use; Compile blocks until a processor is free
 // (first-come-first-served, as in the paper).
@@ -107,6 +134,9 @@ type FaultStats struct {
 	// DeadlineHits counts calls abandoned because they exceeded the
 	// per-call deadline (hung or overloaded worker).
 	DeadlineHits int64
+	// BatchSplits counts multi-function batches that failed transiently and
+	// were split in half for re-dispatch on other workers.
+	BatchSplits int64
 	// Warnings carries human-readable notes about degraded operation
 	// (worker quarantined, compile fell back to local, degraded start).
 	Warnings []string
@@ -114,13 +144,13 @@ type FaultStats struct {
 
 // Any reports whether any fault-handling activity occurred.
 func (s FaultStats) Any() bool {
-	return s.Retries+s.Failovers+s.Quarantines+s.Readmissions+s.LocalFallbacks+s.DeadlineHits > 0
+	return s.Retries+s.Failovers+s.Quarantines+s.Readmissions+s.LocalFallbacks+s.DeadlineHits+s.BatchSplits > 0
 }
 
 // String renders the counters compactly.
 func (s FaultStats) String() string {
-	return fmt.Sprintf("retries=%d failovers=%d quarantines=%d readmissions=%d local-fallbacks=%d deadline-hits=%d",
-		s.Retries, s.Failovers, s.Quarantines, s.Readmissions, s.LocalFallbacks, s.DeadlineHits)
+	return fmt.Sprintf("retries=%d failovers=%d quarantines=%d readmissions=%d local-fallbacks=%d deadline-hits=%d batch-splits=%d",
+		s.Retries, s.Failovers, s.Quarantines, s.Readmissions, s.LocalFallbacks, s.DeadlineHits, s.BatchSplits)
 }
 
 // FaultStatser is implemented by backends with a fault-tolerant dispatch
@@ -161,12 +191,17 @@ func RunFunctionMasterWith(req CompileRequest, cache *fcache.Cache) (*CompileRep
 		if err != nil {
 			return nil, err
 		}
+		objBytes := fr.ObjectBytes
+		if objBytes == nil {
+			// Uncached compile: the result carries only the in-memory object.
+			objBytes = asm.Encode(fr.Object)
+		}
 		reply := &CompileReply{
 			Name:        fr.Name,
 			Section:     fr.Section,
 			IsEntry:     fr.IsEntry,
 			Lines:       fr.Lines,
-			ObjectBytes: asm.Encode(fr.Object),
+			ObjectBytes: objBytes,
 			CPUTime:     fr.CPUTime,
 		}
 		// The function master's diagnostic output: frontend warnings that
@@ -180,6 +215,29 @@ func RunFunctionMasterWith(req CompileRequest, cache *fcache.Cache) (*CompileRep
 		return reply, nil
 	}
 	return nil, fmt.Errorf("function master: no section %d in module", req.Section)
+}
+
+// RunBatchWith executes every item of a batch request in the current
+// process, sequentially — one worker serving a whole dispatch unit. Replies
+// align with req.Items. The frontend runs (or is fetched from cache) once
+// for the whole batch, so even uncached workers amortize phase 1.
+func RunBatchWith(req BatchRequest, cache *fcache.Cache) ([]*CompileReply, error) {
+	replies := make([]*CompileReply, len(req.Items))
+	for i, it := range req.Items {
+		r, err := RunFunctionMasterWith(CompileRequest{
+			File:       req.File,
+			Source:     req.Source,
+			SourceHash: req.SourceHash,
+			Section:    it.Section,
+			Index:      it.Index,
+			Opts:       req.Opts,
+		}, cache)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = r
+	}
+	return replies, nil
 }
 
 // warningOwner returns the function whose declaration contains pos: the
@@ -214,31 +272,127 @@ func frontendWarnings(m *ast.Module, bag *source.DiagBag, fn *ast.FuncDecl) []st
 	return out
 }
 
+// SectionFunc is one function's combined result inside a SectionResult,
+// stored at its declaration index. Keeping the object, line count, and CPU
+// time in one slot makes a request/reply skew a hard error instead of a
+// silently zeroed field.
+type SectionFunc struct {
+	Name    string
+	Object  *asm.Object
+	Lines   int
+	CPUTime time.Duration
+	// Warnings are this function master's diagnostics, re-emitted by the
+	// section master in declaration order.
+	Warnings []string
+}
+
 // SectionResult is what one section master hands back to the master.
 type SectionResult struct {
 	Section int
-	Objects []*asm.Object
+	// Funcs holds one slot per declared function, in declaration order.
+	Funcs []SectionFunc
 	// CPUTime totals the function masters' compile times; MasterTime is the
-	// section master's own coordination time; FuncCPU breaks CPUTime down
-	// per function.
+	// section master's own coordination time; PlanTime the slice of it spent
+	// computing the dispatch schedule.
 	CPUTime    time.Duration
 	MasterTime time.Duration
-	FuncCPU    map[string]time.Duration
-	// Lines[i] is the source line count of Objects[i]'s function.
-	Lines    []int
+	PlanTime   time.Duration
+	// Units counts dispatch units sent; Batches the multi-function units
+	// among them; BatchedFuncs the functions that traveled inside batches.
+	Units        int
+	Batches      int
+	BatchedFuncs int
+	// Warnings are all function masters' warnings in declaration order.
 	Warnings []string
+}
+
+// SchedPolicy selects the dispatch-ordering strategy.
+type SchedPolicy string
+
+const (
+	// SchedFCFS dispatches one request per function in declaration order —
+	// the paper's measured system.
+	SchedFCFS SchedPolicy = "fcfs"
+	// SchedLPT orders dispatch by estimated cost, largest first, and packs
+	// functions below the batch threshold into shared batches — the paper's
+	// §4.3 improvement, productionized.
+	SchedLPT SchedPolicy = "lpt"
+)
+
+// DefaultBatchThreshold is the estimated-cost cutoff below which functions
+// are packed into shared batches. Calibrated against wgen's size classes:
+// Small (~35 lines, cost ≈ 45) batches, a 300-line main (cost ≈ 500) never
+// does.
+const DefaultBatchThreshold = 100.0
+
+// ParallelOptions selects the dispatch policy of a parallel compilation.
+// The zero value means production defaults: LPT ordering with batching at
+// DefaultBatchThreshold.
+type ParallelOptions struct {
+	// Sched is the ordering policy; empty means SchedLPT.
+	Sched SchedPolicy
+	// BatchThreshold is the estimated-cost cutoff for batching: 0 means
+	// DefaultBatchThreshold, negative disables batching (one request per
+	// function). Ignored under SchedFCFS, which never batches.
+	BatchThreshold float64
+}
+
+// normalized resolves the zero-value defaults.
+func (o ParallelOptions) normalized() ParallelOptions {
+	if o.Sched == "" {
+		o.Sched = SchedLPT
+	}
+	if o.BatchThreshold == 0 {
+		o.BatchThreshold = DefaultBatchThreshold
+	}
+	return o
+}
+
+// planThreshold maps the user-facing options onto sched.Plan's threshold
+// convention (0 = FCFS singletons, <0 = LPT singletons, >0 = LPT+batch).
+func (o ParallelOptions) planThreshold() float64 {
+	o = o.normalized()
+	if o.Sched == SchedFCFS {
+		return 0
+	}
+	if o.BatchThreshold < 0 {
+		return -1
+	}
+	return o.BatchThreshold
+}
+
+// DispatchStats summarizes the scheduling decisions of one compilation and
+// how well the cost estimator predicted reality.
+type DispatchStats struct {
+	// Policy and BatchThreshold echo the effective options.
+	Policy         SchedPolicy
+	BatchThreshold float64
+	// Units counts dispatch units sent across all sections; Batches the
+	// multi-function units among them; BatchedFuncs the functions that
+	// traveled inside batches.
+	Units        int
+	Batches      int
+	BatchedFuncs int
+	// RankCorr is the Spearman rank correlation between estimated cost and
+	// measured CPU time per function (1 = the estimator orders perfectly,
+	// 0 = uninformative or too few samples).
+	RankCorr float64
 }
 
 // ParallelStats records the timing decomposition of one parallel
 // compilation (elapsed/user time, per-level CPU, per-function times).
 type ParallelStats struct {
 	Elapsed time.Duration
-	// SetupTime is the master's extra structure parse; SchedulingTime its
-	// section-master coordination; BackendTail the sequential assembly/link.
-	SetupTime      time.Duration
-	FrontendTime   time.Duration
-	SchedulingTime time.Duration
-	BackendTail    time.Duration
+	// SetupTime is the master's extra structure parse; DispatchTime the
+	// section masters' schedule computation (placement only); CompileWallTime
+	// the wall-clock span of the whole parallel region (fork of the first
+	// section master to the last combine); BackendTail the sequential
+	// assembly/link.
+	SetupTime       time.Duration
+	FrontendTime    time.Duration
+	DispatchTime    time.Duration
+	CompileWallTime time.Duration
+	BackendTail     time.Duration
 	// FuncCPU lists every function master's CPU time.
 	FuncCPU map[string]time.Duration
 	// SectionCPU lists each section master's coordination time.
@@ -246,6 +400,8 @@ type ParallelStats struct {
 	Workers    int
 	// Warnings counts the diagnostics merged into Result.Warnings.
 	Warnings int
+	// Dispatch summarizes scheduling decisions and estimator accuracy.
+	Dispatch DispatchStats
 	// Cache reports the backend's artifact-cache counters (cumulative over
 	// the backend's lifetime, not just this compilation); zero when the
 	// backend is uncached.
@@ -266,13 +422,25 @@ func (s *ParallelStats) TotalFuncCPU() time.Duration {
 }
 
 // ParallelCompile runs the full parallel compiler on src using the backend's
-// processors.
+// processors with production dispatch defaults (LPT ordering, batching at
+// DefaultBatchThreshold).
 func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Options) (*compiler.Result, *ParallelStats, error) {
+	return ParallelCompileWith(file, src, backend, opts, ParallelOptions{})
+}
+
+// ParallelCompileWith runs the full parallel compiler with an explicit
+// dispatch policy.
+func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler.Options, popts ParallelOptions) (*compiler.Result, *ParallelStats, error) {
 	start := time.Now()
+	popts = popts.normalized()
 	stats := &ParallelStats{
 		FuncCPU:    make(map[string]time.Duration),
 		SectionCPU: make(map[int]time.Duration),
 		Workers:    backend.Workers(),
+		Dispatch: DispatchStats{
+			Policy:         popts.Sched,
+			BatchThreshold: popts.BatchThreshold,
+		},
 	}
 
 	// Master, step 1: the extra structural parse that drives partitioning
@@ -304,7 +472,8 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 		return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", bag.String())
 	}
 
-	// Master, step 3: fork one section master per section and wait.
+	// Master, step 3: fork one section master per section and wait. The
+	// wall-clock span of this region is the parallel compile time proper.
 	t2 := time.Now()
 	results := make([]*SectionResult, len(outline.Sections))
 	errs := make([]error, len(outline.Sections))
@@ -313,11 +482,11 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 		wg.Add(1)
 		go func(i int, so parser.SectionOutline) {
 			defer wg.Done()
-			results[i], errs[i] = runSectionMaster(file, src, srcHash, so, backend, opts)
+			results[i], errs[i] = runSectionMaster(file, src, srcHash, so, backend, opts, popts)
 		}(i, so)
 	}
 	wg.Wait()
-	stats.SchedulingTime = time.Since(t2)
+	stats.CompileWallTime = time.Since(t2)
 
 	// Combine the section masters' results. Warnings are merged in section
 	// order — the paper's "combining diagnostic output" step — and every
@@ -331,28 +500,26 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 			return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, errs[i])
 		}
 		stats.SectionCPU[r.Section] = r.MasterTime
+		stats.DispatchTime += r.PlanTime
+		stats.Dispatch.Units += r.Units
+		stats.Dispatch.Batches += r.Batches
+		stats.Dispatch.BatchedFuncs += r.BatchedFuncs
 		warnings = append(warnings, r.Warnings...)
-		for name, d := range r.FuncCPU {
-			stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, name)] = d
-		}
-		for k, obj := range r.Objects {
-			fr := &compiler.FuncResult{
-				Name:    obj.Name,
-				Section: obj.Section,
-				IsEntry: obj.IsEntry,
-				Object:  obj,
+		for _, sf := range r.Funcs {
+			stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, sf.Name)] = sf.CPUTime
+			funcResults = append(funcResults, &compiler.FuncResult{
+				Name:    sf.Name,
+				Section: sf.Object.Section,
+				IsEntry: sf.Object.IsEntry,
+				Object:  sf.Object,
+				Lines:   sf.Lines,
+				CPUTime: sf.CPUTime,
 				Diags:   &source.DiagBag{},
-			}
-			if k < len(r.Lines) {
-				fr.Lines = r.Lines[k]
-			}
-			if d, ok := r.FuncCPU[obj.Name]; ok {
-				fr.CPUTime = d
-			}
-			funcResults = append(funcResults, fr)
+			})
 		}
 	}
 	stats.Warnings = len(warnings)
+	stats.Dispatch.RankCorr = estimatorAccuracy(outline, stats.FuncCPU)
 
 	// Master, step 4: the sequential tail (assembly already happened per
 	// function; what remains is linking and driver generation — the paper's
@@ -380,63 +547,162 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 	return res, stats, nil
 }
 
-// runSectionMaster forks one function master per function of the section
-// (concurrently — the backend's worker pool provides the FCFS placement),
-// combines the objects in declaration order, and merges diagnostics.
-func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, opts compiler.Options) (*SectionResult, error) {
-	t0 := time.Now()
-	res := &SectionResult{Section: so.Index, FuncCPU: make(map[string]time.Duration)}
+// estimatorAccuracy computes the Spearman rank correlation between each
+// function's estimated cost (lines × loop nesting, from the outline) and
+// its measured CPU time.
+func estimatorAccuracy(o *parser.Outline, funcCPU map[string]time.Duration) float64 {
+	var predicted, actual []float64
+	for _, so := range o.Sections {
+		for _, fo := range so.Functions {
+			cpu, ok := funcCPU[fmt.Sprintf("s%d/%s", so.Index, fo.Name)]
+			if !ok || cpu <= 0 {
+				continue
+			}
+			predicted = append(predicted, sched.EstimateCost(sched.Task{Lines: fo.Lines, LoopDepth: fo.LoopDepth}))
+			actual = append(actual, cpu.Seconds())
+		}
+	}
+	return sched.RankCorrelation(predicted, actual)
+}
 
-	replies := make([]*CompileReply, len(so.Functions))
-	errs := make([]error, len(so.Functions))
-	var wg sync.WaitGroup
-	for i := range so.Functions {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			replies[i], errs[i] = backend.Compile(CompileRequest{
+// unitDone is one dispatch unit's outcome, streamed back to the section
+// master as it completes.
+type unitDone struct {
+	unit    sched.Unit
+	replies []*CompileReply
+	err     error
+}
+
+// runSectionMaster plans the section's dispatch units from the structural
+// outline (large functions first, small ones batched under the cost
+// threshold), forks one dispatcher goroutine per unit, and combines objects
+// and diagnostics incrementally as replies stream in — asm.Decode overlaps
+// the slowest in-flight compiles instead of serializing after a
+// whole-section barrier. Output (objects, warnings) is emitted in
+// declaration order regardless of arrival order.
+func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
+	t0 := time.Now()
+	tasks := make([]sched.Task, len(so.Functions))
+	for i, fo := range so.Functions {
+		tasks[i] = sched.Task{
+			Name:      fo.Name,
+			Section:   fo.Section,
+			Index:     fo.Index,
+			Lines:     fo.Lines,
+			LoopDepth: fo.LoopDepth,
+		}
+	}
+	units := sched.Plan(tasks, popts.planThreshold(), backend.Workers())
+	res := &SectionResult{
+		Section: so.Index,
+		Funcs:   make([]SectionFunc, len(so.Functions)),
+		Units:   len(units),
+	}
+	for _, u := range units {
+		if u.IsBatch() {
+			res.Batches++
+			res.BatchedFuncs += len(u.Tasks)
+		}
+	}
+	res.PlanTime = time.Since(t0)
+
+	batcher, canBatch := backend.(BatchBackend)
+	dispatch := func(u sched.Unit) ([]*CompileReply, error) {
+		if u.IsBatch() && canBatch {
+			items := make([]BatchItem, len(u.Tasks))
+			for i, t := range u.Tasks {
+				items[i] = BatchItem{Section: t.Section, Index: t.Index}
+			}
+			return batcher.CompileBatch(BatchRequest{
 				File:       file,
 				Source:     src,
 				SourceHash: srcHash,
-				Section:    so.Index,
-				Index:      i,
+				Items:      items,
 				Opts:       opts,
 			})
-		}(i)
+		}
+		// A multi-function unit on a batch-less backend still occupies one
+		// processor at a time: its functions run serially in this goroutine.
+		replies := make([]*CompileReply, len(u.Tasks))
+		for i, t := range u.Tasks {
+			r, err := backend.Compile(CompileRequest{
+				File:       file,
+				Source:     src,
+				SourceHash: srcHash,
+				Section:    t.Section,
+				Index:      t.Index,
+				Opts:       opts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("function %s: %w", t.Name, err)
+			}
+			replies[i] = r
+		}
+		return replies, nil
 	}
-	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("function %s: %w", so.Functions[i].Name, err)
+	// The channel is buffered to len(units) so dispatcher goroutines never
+	// block on send: an early error return leaks no goroutines.
+	done := make(chan unitDone, len(units))
+	for _, u := range units {
+		go func(u sched.Unit) {
+			replies, err := dispatch(u)
+			done <- unitDone{unit: u, replies: replies, err: err}
+		}(u)
+	}
+
+	// Streaming combine: decode each object the moment its reply lands.
+	// Slots are keyed by declaration index, so any request/reply skew —
+	// wrong count, wrong name, duplicate index — is a hard error, never a
+	// silently zeroed field.
+	for range units {
+		d := <-done
+		if d.err != nil {
+			return nil, d.err
+		}
+		if len(d.replies) != len(d.unit.Tasks) {
+			return nil, fmt.Errorf("dispatch skew: %d replies for %d functions", len(d.replies), len(d.unit.Tasks))
+		}
+		for k, r := range d.replies {
+			t := d.unit.Tasks[k]
+			if r == nil || r.Name != t.Name {
+				got := "<nil>"
+				if r != nil {
+					got = r.Name
+				}
+				return nil, fmt.Errorf("dispatch skew: expected reply for %s, got %s", t.Name, got)
+			}
+			if t.Index < 0 || t.Index >= len(res.Funcs) || res.Funcs[t.Index].Object != nil {
+				return nil, fmt.Errorf("dispatch skew: duplicate or out-of-range index %d for %s", t.Index, t.Name)
+			}
+			obj, err := asm.Decode(r.ObjectBytes)
+			if err != nil {
+				return nil, fmt.Errorf("decoding object %s: %w", r.Name, err)
+			}
+			res.Funcs[t.Index] = SectionFunc{
+				Name:     r.Name,
+				Object:   obj,
+				Lines:    r.Lines,
+				CPUTime:  r.CPUTime,
+				Warnings: r.Warnings,
+			}
+			res.CPUTime += r.CPUTime
 		}
 	}
-	// Combine results in declaration order so the section's phase-4 input
-	// is identical to the sequential compiler's.
-	for _, r := range replies {
-		obj, err := asm.Decode(r.ObjectBytes)
-		if err != nil {
-			return nil, fmt.Errorf("decoding object %s: %w", r.Name, err)
+
+	// Emit warnings in declaration order regardless of arrival order, and
+	// verify every declared function produced exactly one object.
+	for i := range res.Funcs {
+		if res.Funcs[i].Object == nil {
+			return nil, fmt.Errorf("dispatch skew: no object for function %s", so.Functions[i].Name)
 		}
-		res.Objects = append(res.Objects, obj)
-		res.Lines = append(res.Lines, r.Lines)
-		res.CPUTime += r.CPUTime
-		res.FuncCPU[r.Name] = r.CPUTime
-		res.Warnings = append(res.Warnings, r.Warnings...)
+		res.Warnings = append(res.Warnings, res.Funcs[i].Warnings...)
 	}
 	res.MasterTime = time.Since(t0) - res.CPUTime
 	if res.MasterTime < 0 {
 		res.MasterTime = 0
 	}
 	return res, nil
-}
-
-// StatsFromReplies fills per-function CPU times in stats; exposed for
-// backends that track their own replies.
-func StatsFromReplies(stats *ParallelStats, replies []*CompileReply) {
-	for _, r := range replies {
-		stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, r.Name)] = r.CPUTime
-	}
 }
 
 // Tasks converts an outline to scheduler tasks (for grouped placement).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/compiler"
@@ -161,5 +162,137 @@ func TestVerifySameOutputDetectsDifferences(t *testing.T) {
 	b.Module.Cells[0].Code[0][0].Imm++
 	if err := VerifySameOutput(a.Module, b.Module); err == nil {
 		t.Error("corruption not detected")
+	}
+}
+
+// batchingBackend extends localBackend with CompileBatch so tests cover the
+// BatchBackend dispatch path without importing internal/cluster.
+type batchingBackend struct {
+	*localBackend
+	batchCalls int
+	batchFuncs int
+	mu         sync.Mutex
+}
+
+func (b *batchingBackend) CompileBatch(req BatchRequest) ([]*CompileReply, error) {
+	b.localBackend.sem <- struct{}{}
+	defer func() { <-b.localBackend.sem }()
+	b.mu.Lock()
+	b.batchCalls++
+	b.batchFuncs += len(req.Items)
+	b.mu.Unlock()
+	return RunBatchWith(req, nil)
+}
+
+// TestParallelPoliciesMatchSequential drives every dispatch policy over a
+// module of many small functions — the paper's worst case — on both a
+// batch-capable and a batch-less backend, checking word-identical output
+// and the expected scheduling counters.
+func TestParallelPoliciesMatchSequential(t *testing.T) {
+	src := wgen.SmallFuncsProgram(16)
+	seq, err := compiler.CompileModule("small.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	cases := []struct {
+		name        string
+		popts       ParallelOptions
+		wantBatches bool // at least one multi-function unit planned
+		wantUnits   int  // exact unit count; 0 = don't check
+	}{
+		{"fcfs", ParallelOptions{Sched: SchedFCFS}, false, 16},
+		{"lpt-default", ParallelOptions{Sched: SchedLPT}, true, 0},
+		{"lpt-no-batch", ParallelOptions{Sched: SchedLPT, BatchThreshold: -1}, false, 16},
+		{"lpt-huge-threshold", ParallelOptions{Sched: SchedLPT, BatchThreshold: 1e9}, true, 0},
+		{"zero-value-defaults", ParallelOptions{}, true, 0},
+	}
+	backends := []struct {
+		name string
+		mk   func() Backend
+	}{
+		{"batch-capable", func() Backend { return &batchingBackend{localBackend: newLocalBackend(4)} }},
+		{"batch-less", func() Backend { return newLocalBackend(4) }},
+	}
+	for _, be := range backends {
+		for _, tc := range cases {
+			t.Run(be.name+"/"+tc.name, func(t *testing.T) {
+				backend := be.mk()
+				par, stats, err := ParallelCompileWith("small.w2", src, backend, compiler.Options{}, tc.popts)
+				if err != nil {
+					t.Fatalf("parallel: %v", err)
+				}
+				if err := VerifySameOutput(seq.Module, par.Module); err != nil {
+					t.Errorf("output differs from sequential: %v", err)
+				}
+				if len(par.Warnings) != len(seq.Warnings) {
+					t.Errorf("warnings: got %d, want %d", len(par.Warnings), len(seq.Warnings))
+				}
+				for i := range seq.Warnings {
+					if i < len(par.Warnings) && par.Warnings[i] != seq.Warnings[i] {
+						t.Errorf("warning %d differs: %q vs %q", i, par.Warnings[i], seq.Warnings[i])
+					}
+				}
+				d := stats.Dispatch
+				if tc.wantBatches && d.Batches == 0 {
+					t.Errorf("expected batches, got %+v", d)
+				}
+				if !tc.wantBatches && d.Batches != 0 {
+					t.Errorf("expected no batches, got %+v", d)
+				}
+				if tc.wantUnits != 0 && d.Units != tc.wantUnits {
+					t.Errorf("units = %d, want %d", d.Units, tc.wantUnits)
+				}
+				if d.Batches > 0 && d.BatchedFuncs < 2*d.Batches {
+					t.Errorf("batched funcs %d inconsistent with %d batches", d.BatchedFuncs, d.Batches)
+				}
+				if bb, ok := backend.(*batchingBackend); ok && d.Batches > 0 && bb.batchCalls != d.Batches {
+					t.Errorf("backend served %d batch calls, stats say %d", bb.batchCalls, d.Batches)
+				}
+				if stats.CompileWallTime <= 0 {
+					t.Errorf("CompileWallTime not populated: %+v", stats)
+				}
+			})
+		}
+	}
+}
+
+// skewBackend drops the last reply of every batch — simulating a worker
+// answering with the wrong number of objects.
+type skewBackend struct{ *localBackend }
+
+func (b *skewBackend) CompileBatch(req BatchRequest) ([]*CompileReply, error) {
+	rs, err := RunBatchWith(req, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rs[:len(rs)-1], nil
+}
+
+// TestBatchReplySkewIsError checks the streaming combine treats a
+// request/reply mismatch as a hard error, never a silently dropped or
+// zeroed function (the old `if k < len(r.Lines)` smell).
+func TestBatchReplySkewIsError(t *testing.T) {
+	src := wgen.SmallFuncsProgram(8)
+	_, _, err := ParallelCompileWith("small.w2", src, &skewBackend{newLocalBackend(2)}, compiler.Options{},
+		ParallelOptions{Sched: SchedLPT, BatchThreshold: 1e9})
+	if err == nil || !strings.Contains(err.Error(), "skew") {
+		t.Fatalf("expected dispatch-skew error, got %v", err)
+	}
+}
+
+// TestEstimatorAccuracyOverWgen checks the lines×loop-nesting estimator
+// orders the mixed user program usefully: the 300-line mains must rank above
+// the 5–45-line helpers in measured CPU, which pins the rank correlation
+// well above zero.
+func TestEstimatorAccuracyOverWgen(t *testing.T) {
+	_, stats, err := ParallelCompile("user.w2", wgen.UserProgram(), newLocalBackend(4), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc := stats.Dispatch.RankCorr; rc <= 0 {
+		t.Errorf("estimator rank correlation = %.2f, want > 0 (predicted vs actual CPU)", rc)
+	}
+	if stats.DispatchTime < 0 || stats.CompileWallTime <= 0 {
+		t.Errorf("timing split not populated: dispatch=%v compile-wall=%v", stats.DispatchTime, stats.CompileWallTime)
 	}
 }

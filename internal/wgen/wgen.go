@@ -314,6 +314,29 @@ func SyntheticProgram(size Size, nfuncs int) []byte {
 	return []byte(sb.String())
 }
 
+// SmallFuncsProgram builds the paper's worst case: n tiny-to-small
+// functions (4–24 lines, cycling deterministically) in a single section.
+// Per-function dispatch overhead dominates modules like this — the workload
+// where the paper measured no speedup and where batching earns its keep.
+func SmallFuncsProgram(nfuncs int) []byte {
+	if nfuncs < 1 {
+		nfuncs = 1
+	}
+	lineCounts := []int{4, 9, 14, 19, 24, 6, 11, 16}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module small%d (out ys: float[%d])\n\n", nfuncs, nfuncs)
+	sb.WriteString("section 1 of 1 {\n")
+	for i := 1; i <= nfuncs; i++ {
+		name := fmt.Sprintf("tiny_%d", i)
+		fn := sizedFunction(name, lineCounts[(i-1)%len(lineCounts)], uint64(i)*2654435761)
+		for _, line := range strings.Split(strings.TrimRight(fn, "\n"), "\n") {
+			sb.WriteString("    " + line + "\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return []byte(sb.String())
+}
+
 // MultiSectionProgram builds a program with one function per section — the
 // original Warp usage where every section runs on its own group of cells.
 // Each section forwards its input and adds its own result, so the sections

@@ -201,3 +201,29 @@ func TestPipelinedGeneratedCodeMatchesUnpipelined(t *testing.T) {
 		}
 	}
 }
+
+// TestSmallFuncsProgram checks the worst-case workload: n tiny functions in
+// one section, all parsing to small outlines and compiling cleanly.
+func TestSmallFuncsProgram(t *testing.T) {
+	src := SmallFuncsProgram(32)
+	var bag source.DiagBag
+	o := parser.ParseOutline("small.w2", src, &bag)
+	if o == nil || bag.HasErrors() {
+		t.Fatalf("outline: %s", bag.String())
+	}
+	if len(o.Sections) != 1 || len(o.Sections[0].Functions) != 32 {
+		t.Fatalf("expected 1 section with 32 functions, got %+v", o.Sections)
+	}
+	for _, fo := range o.Sections[0].Functions {
+		if fo.Lines > 30 {
+			t.Errorf("function %s has %d lines; every function must stay small", fo.Name, fo.Lines)
+		}
+	}
+	if _, err := compiler.CompileModule("small.w2", src, compiler.Options{}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// Deterministic: two generations are byte-identical.
+	if string(SmallFuncsProgram(32)) != string(src) {
+		t.Error("SmallFuncsProgram must be deterministic")
+	}
+}
