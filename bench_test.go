@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/fcache"
 	"repro/internal/stats"
 	"repro/internal/warpsim"
 	"repro/internal/wgen"
@@ -269,6 +270,108 @@ func BenchmarkRealBatchDispatch(b *testing.B) {
 			b.ReportMetric(float64(stats.Dispatch.Batches), "batches")
 		})
 	}
+}
+
+// BenchmarkIncrementalRecompile measures function-grain incremental
+// recompilation: recompiling a 16-function module after editing exactly one
+// function, against compiling the module cold. Warm pools keep their caches
+// across iterations and every iteration edits a different function (seed =
+// iteration), so the steady state is the honest one-edit case: 15 of 16
+// functions are answered from the object tier (by the section master, or by
+// a worker over a shared cache directory) and phases 2+3 run for the edited
+// function alone. The edit itself happens outside the timer.
+func BenchmarkIncrementalRecompile(b *testing.B) {
+	// 16 f_small functions: the largest one-section module that fits cell
+	// program memory (f_medium at this count overflows the 16K-word store).
+	base := wgen.SyntheticProgram(wgen.Small, 16)
+	variant := func(b *testing.B, i int) []byte {
+		src, _, err := wgen.MutateFunctions(base, 1, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return src
+	}
+	compile := func(b *testing.B, pool core.Backend, src []byte) *core.ParallelStats {
+		_, stats, err := core.ParallelCompile("bench.w2", src, pool, compiler.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats
+	}
+	rpcWorkers := func(b *testing.B, cacheBytes int64, dir string) []string {
+		var addrs []string
+		for i := 0; i < 4; i++ {
+			srv, err := cluster.NewWorkerServerDir("127.0.0.1:0", cacheBytes, dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			addrs = append(addrs, srv.Addr())
+		}
+		return addrs
+	}
+
+	b.Run("local-cold", func(b *testing.B) {
+		b.Setenv(fcache.EnvCacheDir, "") // exact cold/warm contrast: no ambient disk tier
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			src := variant(b, i)
+			pool := cluster.NewLocalPoolWith(4, nil)
+			b.StartTimer()
+			compile(b, pool, src)
+		}
+	})
+	b.Run("local-warm-1-edit", func(b *testing.B) {
+		b.Setenv(fcache.EnvCacheDir, "")
+		pool := cluster.NewLocalPool(4)
+		compile(b, pool, base)
+		b.ResetTimer()
+		var stats *core.ParallelStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			src := variant(b, i)
+			b.StartTimer()
+			stats = compile(b, pool, src)
+		}
+		b.StopTimer()
+		b.ReportMetric(stats.Dispatch.RecompileRatio, "recompile_ratio")
+	})
+	b.Run("rpc-cold", func(b *testing.B) {
+		b.Setenv(fcache.EnvCacheDir, "")
+		pool, err := cluster.DialPool(rpcWorkers(b, -1, "")) // caching disabled
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			src := variant(b, i)
+			b.StartTimer()
+			compile(b, pool, src)
+		}
+	})
+	b.Run("rpc-warm-1-edit", func(b *testing.B) {
+		b.Setenv(fcache.EnvCacheDir, "")
+		// The warpcc -cache-dir production setup: master and all four workers
+		// share one persistent cache directory.
+		dir := b.TempDir()
+		pool, err := cluster.DialPoolWith(rpcWorkers(b, 0, dir), cluster.PoolOptions{CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		compile(b, pool, base)
+		b.ResetTimer()
+		var stats *core.ParallelStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			src := variant(b, i)
+			b.StartTimer()
+			stats = compile(b, pool, src)
+		}
+		b.StopTimer()
+		b.ReportMetric(stats.Dispatch.RecompileRatio, "recompile_ratio")
+	})
 }
 
 // Ablations (DESIGN.md): what each phase-3 strategy buys, measured as

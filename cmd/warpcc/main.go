@@ -29,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +54,7 @@ func main() {
 		noPipeline = flag.Bool("no-pipeline", false, "disable software pipelining")
 		noSched    = flag.Bool("no-sched", false, "disable instruction scheduling")
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
+		cacheDir   = flag.String("cache-dir", "", "disk-backed object cache directory for par/rpc modes (persists across runs; overrides WARP_CACHE_DIR)")
 		showStats  = flag.Bool("stats", false, "print per-function statistics")
 
 		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
@@ -100,9 +102,17 @@ func main() {
 	case "par":
 		var pool *cluster.LocalPool
 		if *noCache {
+			if *cacheDir != "" {
+				fatal(fmt.Errorf("-no-cache and -cache-dir are mutually exclusive"))
+			}
 			pool = cluster.NewLocalPoolWith(*jobs, nil)
 		} else {
 			pool = cluster.NewLocalPool(*jobs)
+			if *cacheDir != "" {
+				if derr := pool.Cache().AttachDisk(*cacheDir, 0); derr != nil {
+					fatal(fmt.Errorf("opening -cache-dir %s: %w", *cacheDir, derr))
+				}
+			}
 		}
 		var pstats *core.ParallelStats
 		res, pstats, err = core.ParallelCompileWith(file, src, pool, opts, copts)
@@ -118,6 +128,7 @@ func main() {
 			MaxRetries:      *maxRetries,
 			DialRetry:       *dialRetry,
 			DisableFallback: *noFallback,
+			CacheDir:        *cacheDir,
 		}
 		if *callTimeout == 0 {
 			popts.CallTimeout = -1
@@ -234,8 +245,14 @@ func printParallelStats(s *core.ParallelStats) {
 	fmt.Printf("timing: dispatch %v, compile-wall %v, tail %v\n",
 		s.DispatchTime.Round(1000), s.CompileWallTime.Round(1000), s.BackendTail.Round(1000))
 	d := s.Dispatch
-	fmt.Printf("schedule: policy=%s threshold=%.0f units=%d batches=%d batched-funcs=%d rank-corr=%.2f\n",
-		d.Policy, d.BatchThreshold, d.Units, d.Batches, d.BatchedFuncs, d.RankCorr)
+	rankCorr := "" // meaningless below 3 samples (NaN): omitted entirely
+	if !math.IsNaN(d.RankCorr) {
+		rankCorr = fmt.Sprintf(" rank-corr=%.2f", d.RankCorr)
+	}
+	fmt.Printf("schedule: policy=%s threshold=%.0f units=%d batches=%d batched-funcs=%d%s\n",
+		d.Policy, d.BatchThreshold, d.Units, d.Batches, d.BatchedFuncs, rankCorr)
+	fmt.Printf("incremental: unchanged=%d worker-hits=%d recompiled=%d recompile-ratio=%.2f\n",
+		d.UnchangedFuncs, d.IncrementalHits, d.RecompiledFuncs, d.RecompileRatio)
 	fmt.Printf("cache: %s\n", s.Cache)
 	if s.Faults.Any() {
 		fmt.Printf("faults: %s\n", s.Faults)

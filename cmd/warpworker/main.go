@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	warpworker [-addr host:port] [-cache-mb N] [-grace D]
+//	warpworker [-addr host:port] [-cache-mb N] [-cache-dir DIR] [-grace D]
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
 	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default, negative = disable caching)")
+	cacheDir := flag.String("cache-dir", "", "persistent object cache directory (survives restarts; overrides WARP_CACHE_DIR)")
 	grace := flag.Duration("grace", 10*time.Second, "drain period for in-flight compiles on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	srv, err := cluster.NewWorkerServer(*addr, cacheBytes)
+	srv, err := cluster.NewWorkerServerDir(*addr, cacheBytes, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "warpworker:", err)
 		os.Exit(1)

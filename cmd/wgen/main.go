@@ -8,6 +8,13 @@
 //	wgen -kind sections -size small -n 3   # 3-section pipeline
 //	wgen -kind user                        # the §4.3 user program
 //	wgen -small-funcs 32                   # 32 tiny functions (worst case)
+//
+// With -edit K, wgen additionally mutates K function bodies of the generated
+// program (deterministically under -seed) and writes the original and edited
+// sources to -old and -new — an incremental-recompilation test pair. The
+// edited function names go to stderr.
+//
+//	wgen -kind sn -size medium -n 8 -edit 1 -seed 7 -old base.w2 -new edit.w2
 package main
 
 import (
@@ -23,10 +30,14 @@ func main() {
 	sizeName := flag.String("size", "medium", "function size: tiny, small, medium, large, huge")
 	n := flag.Int("n", 1, "number of functions (sn) or sections (sections)")
 	smallFuncs := flag.Int("small-funcs", 0, "emit a module of N tiny functions (the paper's worst case); overrides -kind")
+	edit := flag.Int("edit", 0, "mutate K function bodies and write an old/new source pair (-old, -new)")
+	seed := flag.Uint64("seed", 1, "mutation seed for -edit")
+	oldFile := flag.String("old", "", "file for the unedited source when -edit > 0")
+	newFile := flag.String("new", "", "file for the edited source when -edit > 0")
 	flag.Parse()
 
 	if *smallFuncs > 0 {
-		os.Stdout.Write(wgen.SmallFuncsProgram(*smallFuncs))
+		emit(wgen.SmallFuncsProgram(*smallFuncs), *edit, *seed, *oldFile, *newFile)
 		return
 	}
 
@@ -59,5 +70,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wgen: unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
-	os.Stdout.Write(out)
+	emit(out, *edit, *seed, *oldFile, *newFile)
+}
+
+// emit writes the generated program: to stdout normally, or — when k
+// edits were requested — the original to oldFile and the mutated version to
+// newFile, listing the edited function names on stderr.
+func emit(src []byte, k int, seed uint64, oldFile, newFile string) {
+	if k <= 0 {
+		os.Stdout.Write(src)
+		return
+	}
+	if oldFile == "" || newFile == "" {
+		fmt.Fprintln(os.Stderr, "wgen: -edit requires -old and -new")
+		os.Exit(2)
+	}
+	mutated, names, err := wgen.MutateFunctions(src, k, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(oldFile, src, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(newFile, mutated, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+	for _, n := range names {
+		fmt.Fprintln(os.Stderr, "wgen: edited", n)
+	}
 }

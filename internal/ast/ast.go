@@ -72,9 +72,13 @@ func (p *StreamParam) Pos() source.Pos { return p.NamePos }
 // group of processing elements.
 type Section struct {
 	SectionPos source.Pos
-	Index      int // 1-based section number as written
-	Of         int // declared total number of sections (0 if omitted)
-	Funcs      []*FuncDecl
+	// LbracePos is the opening brace of the section body; the span from
+	// SectionPos through LbracePos is the section header that every function
+	// of the section depends on (incremental hashing, internal/fcache).
+	LbracePos source.Pos
+	Index     int // 1-based section number as written
+	Of        int // declared total number of sections (0 if omitted)
+	Funcs     []*FuncDecl
 }
 
 func (s *Section) Pos() source.Pos { return s.SectionPos }
@@ -142,6 +146,10 @@ type Stmt interface {
 // Block is a brace-enclosed statement sequence with its own scope.
 type Block struct {
 	LbracePos source.Pos
+	// RbracePos is the closing brace. For a function body it marks the end
+	// of the declaration's byte span (incremental hashing keys on the exact
+	// span of each function).
+	RbracePos source.Pos
 	Stmts     []Stmt
 }
 

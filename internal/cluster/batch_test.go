@@ -38,6 +38,7 @@ func compileBothWith(t *testing.T, name string, src []byte, backend core.Backend
 // multi-function batches, every batch must travel as one Worker.CompileBatch
 // round trip, and the output must stay word-identical.
 func TestBatchDispatchRPC(t *testing.T) {
+	noAmbientDiskCache(t)
 	var addrs []string
 	for i := 0; i < 4; i++ {
 		ln, addr, err := cluster.ServeWorker("127.0.0.1:0")
@@ -70,6 +71,7 @@ func TestBatchDispatchRPC(t *testing.T) {
 // measured system on the same cluster: one dispatch unit per function, no
 // batches, and still word-identical output.
 func TestFCFSPolicyIsPerFunction(t *testing.T) {
+	noAmbientDiskCache(t)
 	ln, addr, err := cluster.ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +94,7 @@ func TestFCFSPolicyIsPerFunction(t *testing.T) {
 // TestLocalPoolBatch checks the in-process pool's CompileBatch path: a
 // batch occupies one worker slot and the cached result matches sequential.
 func TestLocalPoolBatch(t *testing.T) {
+	noAmbientDiskCache(t)
 	pool := cluster.NewLocalPool(2)
 	stats := compileBothWith(t, "small.w2", wgen.SmallFuncsProgram(16), pool, core.ParallelOptions{})
 	if stats.Dispatch.Batches == 0 {
@@ -104,6 +107,7 @@ func TestLocalPoolBatch(t *testing.T) {
 // transiently, splits in half, and retries until it converges — with output
 // word-identical to sequential and the split recorded in the fault stats.
 func TestBatchSplitOnChaosFailure(t *testing.T) {
+	noAmbientDiskCache(t)
 	var addrs []string
 	for i := 0; i < 2; i++ {
 		srv, addr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(chaos.Fault{Kind: chaos.Drop}))
@@ -136,6 +140,7 @@ func TestBatchSplitOnChaosFailure(t *testing.T) {
 // compilation without any split-retry, because every worker would answer
 // the same.
 func TestBatchFatalCompileErrorNotSplit(t *testing.T) {
+	noAmbientDiskCache(t)
 	ln, addr, err := cluster.ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

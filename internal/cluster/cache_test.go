@@ -43,8 +43,11 @@ func TestCachedLocalPoolMatchesSequential(t *testing.T) {
 	if s.Hits() == 0 {
 		t.Errorf("shared cache recorded no hits across the matrix: %s", s)
 	}
-	if s.FrontendHits == 0 || s.IRHits == 0 {
-		t.Errorf("expected hits in both tiers, got %s", s)
+	// Warm passes answer from the object tier before IR is ever consulted
+	// (the generated programs have no intra-section calls, the only thing
+	// that reads a cached IR), so the expected tiers are frontend + object.
+	if s.FrontendHits == 0 || s.ObjectHits == 0 {
+		t.Errorf("expected hits in frontend and object tiers, got %s", s)
 	}
 }
 
@@ -52,6 +55,9 @@ func TestCachedLocalPoolMatchesSequential(t *testing.T) {
 // workers, and additionally checks the wire-level win: after the first
 // request per (worker, module), masters send hashes instead of source.
 func TestCachedRPCPoolMatchesSequential(t *testing.T) {
+	// Without an ambient WARP_CACHE_DIR (CI sets one), or the master would
+	// answer every warm pass itself and no hash-only request ever happens.
+	t.Setenv(fcache.EnvCacheDir, "")
 	var addrs []string
 	for i := 0; i < 3; i++ {
 		ln, addr, err := ServeWorker("127.0.0.1:0")
@@ -104,6 +110,9 @@ func TestParallelStatsReportCacheCounters(t *testing.T) {
 // original failure story, still reachable when retries and the local
 // fallback are disabled.
 func TestWorkerKilledMidCompile(t *testing.T) {
+	// An ambient disk cache (CI sets WARP_CACHE_DIR) would let the master
+	// compile the module without the worker, hiding the failure under test.
+	t.Setenv(fcache.EnvCacheDir, "")
 	ln, addr, err := ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +162,9 @@ func TestWorkerKilledMidCompile(t *testing.T) {
 // TestUncachedWorkerFallback: a worker running with caching disabled must
 // still serve a caching pool — the pool falls back to sending full source.
 func TestUncachedWorkerFallback(t *testing.T) {
+	// An ambient disk cache (CI sets WARP_CACHE_DIR) would short-circuit the
+	// master and leave the full-source fallback path untested.
+	t.Setenv(fcache.EnvCacheDir, "")
 	ln, addr, err := ServeWorkerWith("127.0.0.1:0", -1)
 	if err != nil {
 		t.Fatal(err)

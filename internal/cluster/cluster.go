@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/fcache"
 )
@@ -45,9 +46,11 @@ type LocalPool struct {
 }
 
 // NewLocalPool returns a pool of n workers (n < 1 is treated as 1) sharing
-// a default-sized artifact cache.
+// a default-sized artifact cache. When the WARP_CACHE_DIR environment
+// variable names a directory, the cache's object tier is disk-backed there,
+// so a fresh process starts warm.
 func NewLocalPool(n int) *LocalPool {
-	return NewLocalPoolWith(n, fcache.New(fcache.DefaultMaxBytes))
+	return NewLocalPoolWith(n, fcache.NewEnv(fcache.DefaultMaxBytes))
 }
 
 // NewLocalPoolWith returns a pool of n workers using the given cache. A nil
@@ -109,12 +112,14 @@ type Worker struct {
 }
 
 // NewWorker returns a worker with a cache bounded to cacheBytes
-// (cacheBytes < 0 disables caching; 0 selects the default budget).
+// (cacheBytes < 0 disables caching; 0 selects the default budget). The
+// WARP_CACHE_DIR environment variable attaches a disk-backed object tier,
+// so a restarted worker starts warm.
 func NewWorker(cacheBytes int64) *Worker {
 	if cacheBytes < 0 {
 		return &Worker{}
 	}
-	return &Worker{cache: fcache.New(cacheBytes)}
+	return &Worker{cache: fcache.NewEnv(cacheBytes)}
 }
 
 // begin registers an in-flight request, refusing once draining has started.
@@ -161,6 +166,14 @@ func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) erro
 	if len(req.Source) == 0 {
 		src, ok := w.cache.Source(req.SourceHash)
 		if !ok {
+			// The source is not resident, but a hash-only request can still
+			// be answered entirely from the object tier (in warm runs the
+			// disk tier makes this the common case for a fresh worker) — the
+			// incremental fast path needs no source at all.
+			if e, hit := compiler.LookupObject(w.cache, req.FuncHash, req.Opts); hit {
+				*reply = *core.ReplyFromEntry(e, 0, true)
+				return nil
+			}
 			return codeErr(CodeMissingSource, "worker: source not resident for hash %s", req.SourceHash)
 		}
 		req.Source = src
@@ -196,6 +209,12 @@ func (w *Worker) CompileBatch(req core.BatchRequest, reply *BatchReply) error {
 	if len(req.Source) == 0 {
 		src, ok := w.cache.Source(req.SourceHash)
 		if !ok {
+			// As in Compile: a batch whose every item hits the object tier
+			// needs no source.
+			if replies, all := w.batchFromCache(&req); all {
+				reply.Replies = replies
+				return nil
+			}
 			return codeErr(CodeMissingSource, "worker: source not resident for hash %s", req.SourceHash)
 		}
 		req.Source = src
@@ -211,6 +230,21 @@ func (w *Worker) CompileBatch(req core.BatchRequest, reply *BatchReply) error {
 		reply.Replies[i] = *r
 	}
 	return nil
+}
+
+// batchFromCache tries to answer every item of a batch from the object
+// tier. It reports all=false as soon as one item misses (the caller then
+// demands the source and compiles normally).
+func (w *Worker) batchFromCache(req *core.BatchRequest) (replies []core.CompileReply, all bool) {
+	replies = make([]core.CompileReply, len(req.Items))
+	for i, it := range req.Items {
+		e, hit := compiler.LookupObject(w.cache, it.FuncHash, req.Opts)
+		if !hit {
+			return nil, false
+		}
+		replies[i] = *core.ReplyFromEntry(e, 0, true)
+	}
+	return replies, len(req.Items) > 0
 }
 
 // StoreSource installs module source in the worker's source store, keyed by
@@ -299,7 +333,27 @@ type WorkerServer struct {
 // requests with a cache bounded to cacheBytes (0 selects the default;
 // negative disables caching) until closed or shut down.
 func NewWorkerServer(addr string, cacheBytes int64) (*WorkerServer, error) {
+	return serveWorker(addr, NewWorker(cacheBytes))
+}
+
+// NewWorkerServerDir is NewWorkerServer with an explicit disk cache
+// directory for the worker's object tier (overriding WARP_CACHE_DIR; empty
+// means no disk tier beyond the environment's). Several workers may share
+// one directory — entries are content-addressed and deterministic.
+func NewWorkerServerDir(addr string, cacheBytes int64, dir string) (*WorkerServer, error) {
 	w := NewWorker(cacheBytes)
+	if dir != "" {
+		if w.cache == nil {
+			return nil, codeErr(CodeCacheDisabled, "worker: -cache-dir requires caching enabled")
+		}
+		if err := w.cache.AttachDisk(dir, 0); err != nil {
+			return nil, err
+		}
+	}
+	return serveWorker(addr, w)
+}
+
+func serveWorker(addr string, w *Worker) (*WorkerServer, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", w); err != nil {
 		return nil, err

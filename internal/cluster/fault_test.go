@@ -17,8 +17,19 @@ import (
 	"repro/internal/cluster/chaos"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/fcache"
 	"repro/internal/wgen"
 )
+
+// noAmbientDiskCache clears WARP_CACHE_DIR for tests that assert dispatch
+// actually happens: CI runs this package with a shared cache directory set,
+// and a master answering everything from a pre-populated disk tier would
+// make failover and batching assertions vacuous. Must be called before any
+// pool or worker is created — the tier is attached at construction.
+func noAmbientDiskCache(t *testing.T) {
+	t.Helper()
+	t.Setenv(fcache.EnvCacheDir, "")
+}
 
 // fastOpts are pool options tuned for tests: short probe periods and
 // deterministic jitter. The call deadline stays generous — loaded CI boxes
@@ -59,6 +70,7 @@ func compileBoth(t *testing.T, name string, src []byte, pool *cluster.RPCPool) *
 // one is healthy. The compile must still succeed with word-identical
 // output, and the stats must show the failovers that made it so.
 func TestChaosCrashAndHangFailover(t *testing.T) {
+	noAmbientDiskCache(t)
 	hangSrv, hangAddr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(chaos.Fault{Kind: chaos.Hang}))
 	if err != nil {
 		t.Fatal(err)
@@ -107,6 +119,7 @@ func TestChaosCrashAndHangFailover(t *testing.T) {
 // compiles and checks the compilation still succeeds, identical to the
 // sequential compiler — the recovery the paper's system lacked.
 func TestWorkerKilledMidModule(t *testing.T) {
+	noAmbientDiskCache(t)
 	ln1, addr1, err := cluster.ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +146,7 @@ func TestWorkerKilledMidModule(t *testing.T) {
 // TestAllWorkersDeadLocalFallback: with the whole cluster down, the pool
 // must compile in-process and record the degradation, not error out.
 func TestAllWorkersDeadLocalFallback(t *testing.T) {
+	noAmbientDiskCache(t)
 	ln, addr, err := cluster.ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +178,7 @@ func TestAllWorkersDeadLocalFallback(t *testing.T) {
 // restarts on the same address the background probe readmits it and the
 // pool goes back to remote compiles.
 func TestQuarantineAndReadmission(t *testing.T) {
+	noAmbientDiskCache(t)
 	ln, addr, err := cluster.ServeWorker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -218,6 +233,7 @@ func TestQuarantineAndReadmission(t *testing.T) {
 // TestDegradedStart: DialPoolWith proceeds when only part of the fleet is
 // reachable, and still refuses when none of it is.
 func TestDegradedStart(t *testing.T) {
+	noAmbientDiskCache(t)
 	// Reserve then release a port to get an address with no listener.
 	dead, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -257,6 +273,7 @@ func TestDegradedStart(t *testing.T) {
 // worker answering "unavailable", as a draining daemon does) must fail over
 // to another worker rather than abort the compile.
 func TestInjectedUnavailableFailsOver(t *testing.T) {
+	noAmbientDiskCache(t)
 	sick, sickAddr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(
 		chaos.Fault{Kind: chaos.ErrorReply, Err: "warp-err:unavailable: injected by chaos"},
 	))
@@ -316,6 +333,7 @@ func TestFatalCompileErrorNotRetried(t *testing.T) {
 // delays) and requires the usual word-identical output — reproducible
 // disorder, same answer.
 func TestChaosSeededSoak(t *testing.T) {
+	noAmbientDiskCache(t)
 	plan := chaos.Seeded(7, chaos.Random{
 		DropProb:  0.15,
 		DelayProb: 0.2,

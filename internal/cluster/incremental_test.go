@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/fcache"
+	"repro/internal/wgen"
+)
+
+// editedPair returns an 8-function program and the same program with exactly
+// one function body edited. It also clears WARP_CACHE_DIR for the test:
+// these tests assert exact hit counts, which an ambient shared cache
+// directory (the CI run sets one) would skew.
+func editedPair(t *testing.T) (base, edited []byte) {
+	t.Helper()
+	t.Setenv(fcache.EnvCacheDir, "")
+	base = wgen.SyntheticProgram(wgen.Small, 8)
+	edited, names, err := wgen.MutateFunctions(base, 1, 7)
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("edited %v, want one function", names)
+	}
+	return base, edited
+}
+
+// checkIncremental asserts the dispatch counters of a warm one-edit compile:
+// 7 of 8 functions avoided phases 2+3 (either short-circuited by the master
+// or answered from a worker's object tier) and the recompile ratio is 1/8.
+func checkIncremental(t *testing.T, label string, stats *core.ParallelStats) {
+	t.Helper()
+	d := stats.Dispatch
+	if d.UnchangedFuncs+d.IncrementalHits != 7 {
+		t.Errorf("%s: unchanged=%d worker-hits=%d, want 7 total", label, d.UnchangedFuncs, d.IncrementalHits)
+	}
+	if d.RecompiledFuncs != 1 {
+		t.Errorf("%s: recompiled = %d, want 1", label, d.RecompiledFuncs)
+	}
+	if d.RecompileRatio != 0.125 {
+		t.Errorf("%s: recompile ratio = %v, want 0.125", label, d.RecompileRatio)
+	}
+}
+
+// verifyEdited checks the invariant that gives incremental mode its license:
+// the warm parallel result must be byte-identical to a cold sequential
+// compile of the edited source.
+func verifyEdited(t *testing.T, label string, edited []byte, res *compiler.Result) {
+	t.Helper()
+	seq, err := compiler.CompileModule("edit.w2", edited, compiler.Options{})
+	if err != nil {
+		t.Fatalf("%s: sequential: %v", label, err)
+	}
+	if err := core.VerifySameOutput(seq.Module, res.Module); err != nil {
+		t.Errorf("%s: incremental output differs from cold sequential: %v", label, err)
+	}
+}
+
+// TestLocalPoolIncrementalOneEdit: after a one-function edit, a warm
+// in-process pool recompiles that function alone — the module's other seven
+// never reach the scheduler.
+func TestLocalPoolIncrementalOneEdit(t *testing.T) {
+	base, edited := editedPair(t)
+	pool := NewLocalPool(4)
+
+	_, cold, err := core.ParallelCompile("base.w2", base, pool, compiler.Options{})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if d := cold.Dispatch; d.RecompiledFuncs != 8 || d.RecompileRatio != 1 {
+		t.Errorf("cold run: recompiled=%d ratio=%v, want 8 and 1", d.RecompiledFuncs, d.RecompileRatio)
+	}
+
+	// Recompiling the identical source touches nothing.
+	_, same, err := core.ParallelCompile("base.w2", base, pool, compiler.Options{})
+	if err != nil {
+		t.Fatalf("identical rerun: %v", err)
+	}
+	if d := same.Dispatch; d.UnchangedFuncs != 8 || d.RecompiledFuncs != 0 {
+		t.Errorf("identical rerun: unchanged=%d recompiled=%d, want 8 and 0", d.UnchangedFuncs, d.RecompiledFuncs)
+	}
+
+	res, warm, err := core.ParallelCompile("edit.w2", edited, pool, compiler.Options{})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	checkIncremental(t, "local", warm)
+	// The shared in-process cache lets the section master itself answer the
+	// unchanged functions before planning any dispatch.
+	if warm.Dispatch.UnchangedFuncs != 7 {
+		t.Errorf("master short-circuited %d functions, want 7", warm.Dispatch.UnchangedFuncs)
+	}
+	verifyEdited(t, "local", edited, res)
+}
+
+// TestLocalPoolDiskCacheWarmStart: a fresh pool over a previously populated
+// cache directory starts warm — the warpcc -cache-dir story.
+func TestLocalPoolDiskCacheWarmStart(t *testing.T) {
+	base, edited := editedPair(t)
+	dir := t.TempDir()
+
+	cold := NewLocalPool(4)
+	if err := cold.Cache().AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.ParallelCompile("base.w2", base, cold, compiler.Options{}); err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+
+	// A fresh pool (a new warpcc process, in effect) over the same directory.
+	warm := NewLocalPool(4)
+	if err := warm.Cache().AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := core.ParallelCompile("edit.w2", edited, warm, compiler.Options{})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	checkIncremental(t, "disk", stats)
+	if s := warm.CacheStats(); s.DiskHits == 0 {
+		t.Errorf("warm start never touched the disk tier: %s", s)
+	}
+	verifyEdited(t, "disk", edited, res)
+}
+
+// TestRPCPoolIncrementalOneEdit covers the distributed path: workers share a
+// persistent cache directory, the master holds no object entries, and a warm
+// one-edit compile is answered function-by-function from the workers' object
+// tiers — then, after every worker restarts, from disk, with zero source
+// pushes for a fully unchanged module.
+func TestRPCPoolIncrementalOneEdit(t *testing.T) {
+	base, edited := editedPair(t)
+	dir := t.TempDir()
+
+	startWorkers := func() (addrs []string, stop func()) {
+		var srvs []*WorkerServer
+		for i := 0; i < 4; i++ {
+			srv, err := NewWorkerServerDir("127.0.0.1:0", 0, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srvs = append(srvs, srv)
+			addrs = append(addrs, srv.Addr())
+		}
+		return addrs, func() {
+			for _, s := range srvs {
+				s.Close()
+			}
+		}
+	}
+
+	addrs, stop := startWorkers()
+	pool, err := DialPool(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.ParallelCompile("base.w2", base, pool, compiler.Options{}); err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	res, warm, err := core.ParallelCompile("edit.w2", edited, pool, compiler.Options{})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	checkIncremental(t, "rpc", warm)
+	if warm.Dispatch.IncrementalHits == 0 {
+		t.Error("no dispatched function was answered from a worker's object tier")
+	}
+	verifyEdited(t, "rpc", edited, res)
+	pool.Close()
+	stop()
+
+	// Restart: brand-new worker processes over the same directory, a
+	// brand-new master. Every function of the edited module is already
+	// persisted, so nothing recompiles and no source is ever pushed.
+	addrs, stop = startWorkers()
+	defer stop()
+	pool2, err := DialPool(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	res2, restart, err := core.ParallelCompile("edit.w2", edited, pool2, compiler.Options{})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if d := restart.Dispatch; d.RecompiledFuncs != 0 {
+		t.Errorf("restart recompiled %d functions, want 0", d.RecompiledFuncs)
+	}
+	if s := pool2.CacheStats(); s.SourcePushes != 0 {
+		t.Errorf("restart pushed source %d times, want 0 (hash-only requests suffice)", s.SourcePushes)
+	}
+	verifyEdited(t, "restart", edited, res2)
+}

@@ -47,6 +47,11 @@ type PoolOptions struct {
 	// Seed seeds the backoff jitter so tests are deterministic. 0 selects
 	// the fixed default seed.
 	Seed int64
+	// CacheDir attaches a disk-backed object tier at the given directory to
+	// the pool's master-side cache (overriding WARP_CACHE_DIR), so a fresh
+	// warpcc process short-circuits unchanged functions from a previous
+	// process's work. Empty means environment-default.
+	CacheDir string
 }
 
 // withDefaults fills unset fields.
@@ -164,6 +169,7 @@ type RPCPool struct {
 
 	closeOnce  sync.Once
 	bytesSaved int64 // atomic
+	pushes     int64 // atomic: StoreSource RPCs actually issued
 
 	// masterCache serves the master process itself: ParallelCompile warms
 	// its frontend tier once per module (instead of re-running the full
@@ -191,12 +197,18 @@ func DialPoolWith(addrs []string, opts PoolOptions) (*RPCPool, error) {
 		return nil, fmt.Errorf("cluster: no worker addresses")
 	}
 	opts = opts.withDefaults()
+	masterCache := fcache.NewEnv(fcache.DefaultMaxBytes)
+	if opts.CacheDir != "" {
+		if err := masterCache.AttachDisk(opts.CacheDir, 0); err != nil {
+			return nil, fmt.Errorf("cluster: opening cache dir %s: %w", opts.CacheDir, err)
+		}
+	}
 	p := &RPCPool{
 		opts:        opts,
 		free:        make(chan *poolWorker, len(addrs)),
 		closed:      make(chan struct{}),
 		rng:         rand.New(rand.NewSource(opts.Seed)),
-		masterCache: fcache.New(fcache.DefaultMaxBytes),
+		masterCache: masterCache,
 	}
 	var firstErr error
 	for _, a := range addrs {
@@ -508,6 +520,24 @@ func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.Compi
 	src := req.Source
 	h := req.SourceHash
 
+	// Optimistic incremental attempt: when the worker does not yet hold the
+	// source but the request carries a function hash, try hash-only before
+	// pushing anything — a warm worker (its disk tier survived a restart)
+	// answers from its object tier and the source never crosses the wire.
+	// A missing-source answer falls through to the normal push path.
+	if len(src) > 0 && !req.FuncHash.IsZero() && !w.cacheDisabled() && !w.knows(h) {
+		send := req
+		send.Source = nil
+		var reply core.CompileReply
+		switch err := p.call(w, "Worker.Compile", send, &reply); {
+		case err == nil:
+			atomic.AddInt64(&p.bytesSaved, int64(len(src)))
+			return &reply, nil
+		case !IsMissingSource(err):
+			return nil, err
+		}
+	}
+
 	// Decide whether this request can travel hash-only.
 	lean, saved := false, false
 	if len(src) > 0 && !w.cacheDisabled() {
@@ -571,6 +601,7 @@ func (p *RPCPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, err
 			SourceHash: req.SourceHash,
 			Section:    req.Items[0].Section,
 			Index:      req.Items[0].Index,
+			FuncHash:   req.Items[0].FuncHash,
 			Opts:       req.Opts,
 		})
 		if err != nil {
@@ -649,6 +680,37 @@ func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.Compile
 	src := req.Source
 	h := req.SourceHash
 
+	// Optimistic incremental attempt, as in compileOn: if every item carries
+	// a function hash and the worker does not yet hold the source, a fully
+	// warm worker answers the whole batch from its object tier.
+	allHashed := len(req.Items) > 0
+	for _, it := range req.Items {
+		if it.FuncHash.IsZero() {
+			allHashed = false
+			break
+		}
+	}
+	if len(src) > 0 && allHashed && !w.cacheDisabled() && !w.knows(h) {
+		send := req
+		send.Source = nil
+		var reply BatchReply
+		switch err := p.call(w, "Worker.CompileBatch", send, &reply); {
+		case err == nil:
+			if len(reply.Replies) != len(req.Items) {
+				return nil, fmt.Errorf("cluster: batch skew from %s: %d replies for %d items",
+					w.addr, len(reply.Replies), len(req.Items))
+			}
+			atomic.AddInt64(&p.bytesSaved, int64(len(src)))
+			out := make([]*core.CompileReply, len(reply.Replies))
+			for i := range reply.Replies {
+				out[i] = &reply.Replies[i]
+			}
+			return out, nil
+		case !IsMissingSource(err):
+			return nil, err
+		}
+	}
+
 	lean, saved := false, false
 	if len(src) > 0 && !w.cacheDisabled() {
 		if w.knows(h) {
@@ -696,12 +758,14 @@ func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.Compile
 	return out, nil
 }
 
-// push installs the source on worker w and records that it holds it.
+// push installs the source on worker w and records that it holds it. Each
+// push is counted: a fully warm incremental run issues zero.
 func (p *RPCPool) push(w *poolWorker, h fcache.SourceHash, src []byte) error {
 	var ok bool
 	if err := p.call(w, "Worker.StoreSource", SourceBlob{Hash: h, Source: src}, &ok); err != nil {
 		return err
 	}
+	atomic.AddInt64(&p.pushes, 1)
 	w.markKnows(h)
 	return nil
 }
@@ -726,6 +790,7 @@ func (p *RPCPool) CacheStats() fcache.Stats {
 		}
 	}
 	s.RPCBytesSaved += atomic.LoadInt64(&p.bytesSaved)
+	s.SourcePushes += atomic.LoadInt64(&p.pushes)
 	return s
 }
 

@@ -49,18 +49,20 @@ section 1 { function f() { return; } }
 	}
 }
 
-// TestCompileFunctionCachedMatchesUncached is the cache's correctness core:
-// for every function of a realistic multi-section program, the cached path
-// (shared lowered IR + clone) must emit word-identical code to the uncached
-// path, on both the cold pass (miss) and the warm pass (hit).
-func TestCompileFunctionCachedMatchesUncached(t *testing.T) {
+// TestCompileFunctionIncrementalMatchesUncached is the cache's correctness
+// core: for every function of a realistic multi-section program, the
+// incremental path (per-function cached IR + object entries) must emit
+// word-identical code to the uncached path, on both the cold pass (miss,
+// hit=false) and the warm pass (hit=true with no recompilation).
+func TestCompileFunctionIncrementalMatchesUncached(t *testing.T) {
 	src := wgen.UserProgram()
-	m, info, bag := Frontend("user.w2", src)
-	if bag.HasErrors() {
-		t.Fatalf("frontend: %s", bag.String())
-	}
 	h := fcache.HashSource(src)
 	cache := fcache.New(0)
+	fe := FrontendEntryCached(cache, h, "user.w2", src)
+	if fe.Bag.HasErrors() {
+		t.Fatalf("frontend: %s", fe.Bag.String())
+	}
+	m, info := fe.Module, fe.Info
 
 	for pass := 0; pass < 2; pass++ {
 		for _, sec := range m.Sections {
@@ -69,21 +71,28 @@ func TestCompileFunctionCachedMatchesUncached(t *testing.T) {
 				if err != nil {
 					t.Fatalf("pass %d: CompileFunction(%s): %v", pass, fn.Name, err)
 				}
-				got, err := CompileFunctionCached(cache, h, m, info, fn, Options{})
+				entry, hit, err := CompileFunctionIncremental(cache, fe, fn, Options{})
 				if err != nil {
-					t.Fatalf("pass %d: CompileFunctionCached(%s): %v", pass, fn.Name, err)
+					t.Fatalf("pass %d: CompileFunctionIncremental(%s): %v", pass, fn.Name, err)
 				}
-				if len(got.Object.Code) != len(want.Object.Code) {
-					t.Fatalf("pass %d: %s: cached emits %d words, uncached %d",
-						pass, fn.Name, len(got.Object.Code), len(want.Object.Code))
+				if hit != (pass == 1) {
+					t.Errorf("pass %d: %s: hit = %v", pass, fn.Name, hit)
 				}
-				for i := range got.Object.Code {
-					if got.Object.Code[i] != want.Object.Code[i] {
-						t.Fatalf("pass %d: %s: word %d differs: cached %v, uncached %v",
-							pass, fn.Name, i, got.Object.Code[i], want.Object.Code[i])
+				obj, err := entry.Object()
+				if err != nil {
+					t.Fatalf("pass %d: %s: decode: %v", pass, fn.Name, err)
+				}
+				if len(obj.Code) != len(want.Object.Code) {
+					t.Fatalf("pass %d: %s: incremental emits %d words, uncached %d",
+						pass, fn.Name, len(obj.Code), len(want.Object.Code))
+				}
+				for i := range obj.Code {
+					if obj.Code[i] != want.Object.Code[i] {
+						t.Fatalf("pass %d: %s: word %d differs: incremental %v, uncached %v",
+							pass, fn.Name, i, obj.Code[i], want.Object.Code[i])
 					}
 				}
-				if got.IsEntry != want.IsEntry || got.Section != want.Section {
+				if entry.IsEntry != want.IsEntry || entry.Section != want.Section {
 					t.Errorf("pass %d: %s: metadata differs", pass, fn.Name)
 				}
 			}
@@ -91,11 +100,55 @@ func TestCompileFunctionCachedMatchesUncached(t *testing.T) {
 	}
 
 	s := cache.Stats()
-	if s.IRHits == 0 {
-		t.Error("warm pass produced no IR cache hits")
+	if s.ObjectHits == 0 {
+		t.Error("warm pass produced no object cache hits")
 	}
-	if s.IRMisses == 0 {
-		t.Error("cold pass produced no IR cache misses")
+	if s.ObjectMisses == 0 {
+		t.Error("cold pass produced no object cache misses")
+	}
+}
+
+// TestIncrementalOneEditRecompilesOneFunction is the function-grain keying
+// contract: after editing one function of a module, every other function's
+// object entry must still hit, so phases 2+3 rerun for the edited function
+// alone.
+func TestIncrementalOneEditRecompilesOneFunction(t *testing.T) {
+	src := wgen.SyntheticProgram(wgen.Small, 8)
+	edited, names, err := wgen.MutateFunctions(src, 1, 42)
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("edited %v, want exactly one function", names)
+	}
+
+	cache := fcache.New(0)
+	compileAll := func(src []byte, label string) {
+		fe := FrontendEntryCached(cache, fcache.HashSource(src), label, src)
+		if fe.Bag.HasErrors() {
+			t.Fatalf("%s: frontend: %s", label, fe.Bag.String())
+		}
+		for _, sec := range fe.Module.Sections {
+			for _, fn := range sec.Funcs {
+				if _, _, err := CompileFunctionIncremental(cache, fe, fn, Options{}); err != nil {
+					t.Fatalf("%s: %s: %v", label, fn.Name, err)
+				}
+			}
+		}
+	}
+
+	compileAll(src, "base.w2")
+	cold := cache.Stats()
+	if cold.ObjectMisses != 8 {
+		t.Fatalf("cold object misses = %d, want 8", cold.ObjectMisses)
+	}
+	compileAll(edited, "edit.w2")
+	warm := cache.Stats()
+	if got := warm.ObjectMisses - cold.ObjectMisses; got != 1 {
+		t.Errorf("edit of %v recompiled %d functions, want 1", names, got)
+	}
+	if got := warm.ObjectHits - cold.ObjectHits; got != 7 {
+		t.Errorf("edit pass hit %d functions, want 7", got)
 	}
 }
 

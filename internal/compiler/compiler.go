@@ -42,11 +42,7 @@ type FuncResult struct {
 	Section int
 	IsEntry bool
 	Object  *asm.Object
-	// ObjectBytes is the wire encoding of Object, filled by the cached
-	// compile path so repeat requests for the same artifact do not re-encode
-	// it. Nil when the result came from an uncached compile.
-	ObjectBytes []byte
-	Lines       int
+	Lines   int
 
 	OptStats opt.Stats
 	GenStats codegen.GenStats
@@ -88,21 +84,43 @@ func Frontend(file string, src []byte) (*ast.Module, *sem.Info, *source.DiagBag)
 	return m, info, &bag
 }
 
-// FrontendCached is Frontend backed by the content-addressed cache: the
-// module is parsed and checked at most once per source content instead of
-// once per function master. h must be HashSource(src). The returned
-// artifacts are shared and must be treated as read-only. A nil cache runs
-// the frontend directly.
-func FrontendCached(cache *fcache.Cache, h fcache.SourceHash, file string, src []byte) (*ast.Module, *sem.Info, *source.DiagBag) {
-	if cache == nil {
-		return Frontend(file, src)
+// buildFrontendEntry runs the frontend and packages the shared artifacts,
+// including every function's incremental content address (only when the
+// frontend succeeded — a module with errors never reaches phases 2+3).
+func buildFrontendEntry(file string, src []byte) (*fcache.FrontendEntry, int64) {
+	m, info, bag := Frontend(file, src)
+	e := &fcache.FrontendEntry{Module: m, Info: info, Bag: bag}
+	if m != nil && !bag.HasErrors() {
+		hs := parser.FuncHashes(m, src)
+		e.FuncHashes = make(map[fcache.FuncKey]fcache.FuncHash, len(hs))
+		for k, v := range hs {
+			e.FuncHashes[fcache.FuncKey{Section: k.Section, Index: k.Index}] = fcache.FuncHash(v)
+		}
 	}
-	e := cache.Frontend(h, func() (*fcache.FrontendEntry, int64) {
-		m, info, bag := Frontend(file, src)
-		// The checked AST is a few times larger than its source text; the
-		// budget only needs the right order of magnitude.
-		return &fcache.FrontendEntry{Module: m, Info: info, Bag: bag}, int64(len(src))*8 + 4096
+	// The checked AST is a few times larger than its source text; the
+	// budget only needs the right order of magnitude.
+	return e, int64(len(src))*8 + 4096
+}
+
+// FrontendEntryCached returns the cached phase-1 artifacts of src — checked
+// AST, semantic info, diagnostics, and per-function incremental hashes —
+// parsing and checking at most once per source content. h must be
+// HashSource(src). The entry is shared and must be treated as read-only. A
+// nil cache builds a fresh (uncached) entry.
+func FrontendEntryCached(cache *fcache.Cache, h fcache.SourceHash, file string, src []byte) *fcache.FrontendEntry {
+	if cache == nil {
+		e, _ := buildFrontendEntry(file, src)
+		return e
+	}
+	return cache.Frontend(h, func() (*fcache.FrontendEntry, int64) {
+		return buildFrontendEntry(file, src)
 	})
+}
+
+// FrontendCached is Frontend backed by the content-addressed cache; see
+// FrontendEntryCached.
+func FrontendCached(cache *fcache.Cache, h fcache.SourceHash, file string, src []byte) (*ast.Module, *sem.Info, *source.DiagBag) {
+	e := FrontendEntryCached(cache, h, file, src)
 	return e.Module, e.Info, e.Bag
 }
 
@@ -129,8 +147,8 @@ func sectionOf(m *ast.Module, fn *ast.FuncDecl) (*ast.Section, error) {
 // CompileFunction runs phases 2 and 3 for one function of a checked module.
 // The function's section-local callees are lowered and inlined as part of
 // the work (each function master re-derives what it needs — the processes
-// share no memory). CompileFunctionCached is the variant that reuses shared
-// lowered IR instead of re-deriving it.
+// share no memory). CompileFunctionIncremental is the variant that reuses
+// cached per-function artifacts instead of re-deriving everything.
 func CompileFunction(m *ast.Module, info *sem.Info, fn *ast.FuncDecl, opts Options) (*FuncResult, error) {
 	start := time.Now()
 	sec, err := sectionOf(m, fn)
@@ -162,94 +180,142 @@ func CompileFunction(m *ast.Module, info *sem.Info, fn *ast.FuncDecl, opts Optio
 	return finishFunction(fn, sec, target, opts, start)
 }
 
-// CompileFunctionCached is CompileFunction backed by the content-addressed
-// cache. The section's lowered, inlined flowgraphs are computed once per
-// (source, section) and reused, turning the per-function O(section) lowering
-// into an amortized O(1) lookup; the target flowgraph is deep-copied before
-// optimization so cached IR is never mutated and every compilation stays
-// isolated. On top of that, the finished per-function artifact is memoized
-// by (source, section, function, options) — the whole compilation is a pure
-// function of those inputs, so recompiling unchanged source returns the
-// identical object without re-running optimization or code generation.
-// h must be the content hash of the module source that produced m. A nil
-// cache falls back to the uncached path.
-func CompileFunctionCached(cache *fcache.Cache, h fcache.SourceHash, m *ast.Module, info *sem.Info, fn *ast.FuncDecl, opts Options) (*FuncResult, error) {
-	if cache == nil {
-		return CompileFunction(m, info, fn, opts)
-	}
-	start := time.Now()
-	sec, err := sectionOf(m, fn)
-	if err != nil {
-		return nil, err
-	}
-	idx := fn.FuncIndex
-	v, err := cache.FuncObject(h, sec.Index, idx, optsKey(opts), func() (any, int64, error) {
-		funcs, err := cache.SectionIR(h, sec.Index, func() ([]*ir.Func, error) {
-			return LowerSection(sec, info)
-		})
+// funcIR returns the lowered, inlined (call-free) flowgraph of sec.Funcs[idx],
+// cached per function hash. A function's IR depends only on its own body and
+// its transitive same-section callees — exactly what its FuncHash covers —
+// so editing one function invalidates the IR of it and its callers, nothing
+// else. The returned flowgraph is shared: clone before mutating.
+func funcIR(cache *fcache.Cache, fe *fcache.FrontendEntry, sec *ast.Section, idx int) (*ir.Func, error) {
+	fn := sec.Funcs[idx]
+	return cache.FuncIR(fe.FuncHashes[fcache.FuncKey{Section: sec.Index, Index: idx}], func() (*ir.Func, error) {
+		f, err := ir.Lower(fn, fe.Info)
 		if err != nil {
-			return nil, 0, err
+			return nil, fmt.Errorf("lowering %s: %w", fn.Name, err)
 		}
-		if idx < 0 || idx >= len(funcs) || funcs[idx].Name != fn.Name {
-			return nil, 0, fmt.Errorf("cached IR for section %d does not match function %s (index %d)", sec.Index, fn.Name, idx)
+		// Resolve the direct callees' (already inlined, call-free) flowgraphs;
+		// building the name map in ascending declaration order reproduces
+		// latest-declaration-wins resolution.
+		callees := make(map[string]*ir.Func)
+		for _, j := range parser.DirectCalls(sec, idx) {
+			cf, err := funcIR(cache, fe, sec, j)
+			if err != nil {
+				return nil, err
+			}
+			callees[sec.Funcs[j].Name] = cf
 		}
-		fr, err := finishFunction(fn, sec, funcs[idx].Clone(), opts, start)
-		if err != nil {
-			return nil, 0, err
+		if err := ir.InlineCalls(f, callees); err != nil {
+			return nil, fmt.Errorf("inlining into %s: %w", fn.Name, err)
 		}
-		// Encode once at build time: the wire form is as pure a function of
-		// the inputs as the object, and every RPC reply needs it.
-		fr.ObjectBytes = asm.Encode(fr.Object)
-		return fr, objectCost(fr), nil
+		return f, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	// Shared cached value: hand back a shallow copy so the caller-visible
-	// CPUTime reflects this request (on a hit, the lookup cost — that is the
-	// measured win) without mutating the cached struct.
-	fr := *v.(*FuncResult)
-	fr.CPUTime = time.Since(start)
-	return &fr, nil
 }
 
-// optsKey fingerprints an Options value for the object-tier cache key. The
+// CompileFunctionIncremental is CompileFunction backed by the incremental
+// cache: the finished artifact is memoized by (FuncHash, options) — the
+// whole compilation is a pure function of those inputs — and on a miss the
+// per-function lowered IR tier limits re-derivation to the edited function
+// and its callers. The returned entry carries the function master's complete
+// reply (wire-encoded object plus its full warning list), is shared, and
+// must be treated as read-only. hit reports whether the artifact came from
+// cache without running any phase. fe must be the frontend entry of the
+// module that declares fn (see FrontendEntryCached); a nil cache compiles
+// without caching.
+func CompileFunctionIncremental(cache *fcache.Cache, fe *fcache.FrontendEntry, fn *ast.FuncDecl, opts Options) (*fcache.ObjectEntry, bool, error) {
+	sec, err := sectionOf(fe.Module, fn)
+	if err != nil {
+		return nil, false, err
+	}
+	idx := fn.FuncIndex
+	if idx < 0 || idx >= len(sec.Funcs) || sec.Funcs[idx] != fn {
+		return nil, false, fmt.Errorf("function %s is not at index %d of section %d", fn.Name, idx, sec.Index)
+	}
+	built := false
+	entry, err := cache.Object(fe.FuncHashes[fcache.FuncKey{Section: sec.Index, Index: idx}], OptsKey(opts), func() (*fcache.ObjectEntry, error) {
+		built = true
+		target, err := funcIR(cache, fe, sec, idx)
+		if err != nil {
+			return nil, err
+		}
+		// The cached flowgraph is shared; optimization works on a deep copy.
+		fr, err := finishFunction(fn, sec, target.Clone(), opts, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		e := &fcache.ObjectEntry{
+			Name:    fr.Name,
+			Section: fr.Section,
+			IsEntry: fr.IsEntry,
+			Lines:   fr.Lines,
+			// Encode once at build time: the wire form is as pure a function
+			// of the inputs as the object, and every RPC reply needs it.
+			ObjectBytes: asm.Encode(fr.Object),
+		}
+		e.SetObject(fr.Object)
+		// The entry carries the function master's complete diagnostic output
+		// — frontend warnings owned by this function, then its own phase-2+3
+		// warnings — so a cache hit reproduces the reply exactly.
+		e.Warnings = append(e.Warnings, FrontendWarnings(fe.Module, fe.Bag, fn)...)
+		for _, d := range fr.Diags.All() {
+			if d.Severity == source.Warn {
+				e.Warnings = append(e.Warnings, d.String())
+			}
+		}
+		return e, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, !built, nil
+}
+
+// LookupObject probes the object tier (memory, then disk) for the finished
+// artifact of the function whose compilation inputs hash to fh, without
+// compiling anything. Masters call it to short-circuit unchanged functions
+// before scheduling; workers call it to answer hash-only requests.
+func LookupObject(cache *fcache.Cache, fh fcache.FuncHash, opts Options) (*fcache.ObjectEntry, bool) {
+	return cache.PeekObject(fh, OptsKey(opts))
+}
+
+// OptsKey fingerprints an Options value for the object-tier cache key. The
 // zero value — every production compile — short-circuits past the reflective
 // formatting, which otherwise costs more than the cache hit it keys.
-func optsKey(opts Options) string {
+func OptsKey(opts Options) string {
 	if opts == (Options{}) {
 		return "default"
 	}
 	return fmt.Sprintf("%+v", opts)
 }
 
-// objectCost estimates the resident cost of a finished FuncResult.
-func objectCost(fr *FuncResult) int64 {
-	cost := int64(1024) + int64(len(fr.ObjectBytes))
-	if fr.Object != nil {
-		cost += 64 * int64(len(fr.Object.Code))
+// warningOwner returns the function whose declaration contains pos: the
+// function with the greatest starting offset not after pos. It returns nil
+// for module-level positions before the first function.
+func warningOwner(m *ast.Module, pos source.Pos) *ast.FuncDecl {
+	var owner *ast.FuncDecl
+	for _, sec := range m.Sections {
+		for _, f := range sec.Funcs {
+			if f.Pos().Offset <= pos.Offset && (owner == nil || f.Pos().Offset > owner.Pos().Offset) {
+				owner = f
+			}
+		}
 	}
-	return cost
+	return owner
 }
 
-// LowerSection lowers and inlines every function of sec in declaration
-// order, producing call-free flowgraphs. Element i is exactly the flowgraph
-// CompileFunction derives for sec.Funcs[i] before optimization.
-func LowerSection(sec *ast.Section, info *sem.Info) ([]*ir.Func, error) {
-	funcs := make(map[string]*ir.Func)
-	out := make([]*ir.Func, 0, len(sec.Funcs))
-	for _, g := range sec.Funcs {
-		f, err := ir.Lower(g, info)
-		if err != nil {
-			return nil, fmt.Errorf("lowering %s: %w", g.Name, err)
+// FrontendWarnings renders bag's warning diagnostics owned by fn — or, with
+// fn nil, the module-level warnings owned by no function. Splitting
+// ownership this way means each warning is reported by exactly one master
+// even though every function master sees the whole module's diagnostics.
+func FrontendWarnings(m *ast.Module, bag *source.DiagBag, fn *ast.FuncDecl) []string {
+	var out []string
+	for _, d := range bag.All() {
+		if d.Severity != source.Warn {
+			continue
 		}
-		if err := ir.InlineCalls(f, funcs); err != nil {
-			return nil, fmt.Errorf("inlining into %s: %w", g.Name, err)
+		if warningOwner(m, d.Pos) == fn {
+			out = append(out, d.String())
 		}
-		funcs[g.Name] = f
-		out = append(out, f)
 	}
-	return out, nil
+	return out
 }
 
 // finishFunction runs the shared back half of a function compilation:

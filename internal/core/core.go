@@ -21,11 +21,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"repro/internal/asm"
-	"repro/internal/ast"
 	"repro/internal/compiler"
 	"repro/internal/fcache"
 	"repro/internal/iodriver"
@@ -51,7 +51,12 @@ type CompileRequest struct {
 	SourceHash fcache.SourceHash
 	Section    int // 1-based section index
 	Index      int // 0-based function position within the section
-	Opts       compiler.Options
+	// FuncHash is the function's incremental content address (zero when the
+	// dispatcher could not compute one). A worker holding the finished
+	// artifact for it answers without running any phase — and without
+	// needing Source at all.
+	FuncHash fcache.FuncHash
+	Opts     compiler.Options
 }
 
 // CompileReply is the function master's result: the assembled object plus
@@ -64,12 +69,17 @@ type CompileReply struct {
 	ObjectBytes []byte
 	CPUTime     time.Duration
 	Warnings    []string
+	// CacheHit reports that the worker answered from its object tier
+	// without running phases 2+3 (an incremental hit).
+	CacheHit bool
 }
 
 // BatchItem names one function inside a batch request by position.
 type BatchItem struct {
 	Section int // 1-based section index
 	Index   int // 0-based function position within the section
+	// FuncHash follows CompileRequest.FuncHash's rules.
+	FuncHash fcache.FuncHash
 }
 
 // BatchRequest asks one worker to compile several functions of the same
@@ -166,20 +176,42 @@ func RunFunctionMaster(req CompileRequest) (*CompileReply, error) {
 	return RunFunctionMasterWith(req, nil)
 }
 
+// ReplyFromEntry builds the function master's reply from a cached object
+// entry. hit marks replies answered from cache without running any phase.
+func ReplyFromEntry(e *fcache.ObjectEntry, cpu time.Duration, hit bool) *CompileReply {
+	return &CompileReply{
+		Name:        e.Name,
+		Section:     e.Section,
+		IsEntry:     e.IsEntry,
+		Lines:       e.Lines,
+		ObjectBytes: e.ObjectBytes,
+		CPUTime:     cpu,
+		Warnings:    e.Warnings,
+		CacheHit:    hit,
+	}
+}
+
 // RunFunctionMasterWith executes one compile request using cache for the
-// shared immutable artifacts (checked frontend, lowered section IR). With a
-// nil cache it re-derives everything from source. Backends call it on their
-// workers; cmd/warpworker exposes it over RPC with a per-process cache.
+// shared immutable artifacts (checked frontend, per-function lowered IR,
+// finished objects). With a nil cache it re-derives everything from source.
+// Backends call it on their workers; cmd/warpworker exposes it over RPC with
+// a per-process cache. A request whose FuncHash finds a finished artifact in
+// the object tier is answered without touching the source — the incremental
+// fast path.
 func RunFunctionMasterWith(req CompileRequest, cache *fcache.Cache) (*CompileReply, error) {
+	if e, ok := compiler.LookupObject(cache, req.FuncHash, req.Opts); ok {
+		return ReplyFromEntry(e, 0, true), nil
+	}
+	start := time.Now()
 	h := req.SourceHash
 	if h.IsZero() && cache != nil {
 		h = fcache.HashSource(req.Source)
 	}
-	m, info, bag := compiler.FrontendCached(cache, h, req.File, req.Source)
-	if bag.HasErrors() {
-		return nil, fmt.Errorf("function master: front-end errors:\n%s", bag.String())
+	fe := compiler.FrontendEntryCached(cache, h, req.File, req.Source)
+	if fe.Bag.HasErrors() {
+		return nil, fmt.Errorf("function master: front-end errors:\n%s", fe.Bag.String())
 	}
-	for _, sec := range m.Sections {
+	for _, sec := range fe.Module.Sections {
 		if sec.Index != req.Section {
 			continue
 		}
@@ -187,32 +219,11 @@ func RunFunctionMasterWith(req CompileRequest, cache *fcache.Cache) (*CompileRep
 			return nil, fmt.Errorf("function master: section %d has no function %d", req.Section, req.Index)
 		}
 		fn := sec.Funcs[req.Index]
-		fr, err := compiler.CompileFunctionCached(cache, h, m, info, fn, req.Opts)
+		entry, hit, err := compiler.CompileFunctionIncremental(cache, fe, fn, req.Opts)
 		if err != nil {
 			return nil, err
 		}
-		objBytes := fr.ObjectBytes
-		if objBytes == nil {
-			// Uncached compile: the result carries only the in-memory object.
-			objBytes = asm.Encode(fr.Object)
-		}
-		reply := &CompileReply{
-			Name:        fr.Name,
-			Section:     fr.Section,
-			IsEntry:     fr.IsEntry,
-			Lines:       fr.Lines,
-			ObjectBytes: objBytes,
-			CPUTime:     fr.CPUTime,
-		}
-		// The function master's diagnostic output: frontend warnings that
-		// belong to this function plus warnings from its own phases 2+3.
-		reply.Warnings = append(reply.Warnings, frontendWarnings(m, bag, fn)...)
-		for _, d := range fr.Diags.All() {
-			if d.Severity == source.Warn {
-				reply.Warnings = append(reply.Warnings, d.String())
-			}
-		}
-		return reply, nil
+		return ReplyFromEntry(entry, time.Since(start), hit), nil
 	}
 	return nil, fmt.Errorf("function master: no section %d in module", req.Section)
 }
@@ -230,6 +241,7 @@ func RunBatchWith(req BatchRequest, cache *fcache.Cache) ([]*CompileReply, error
 			SourceHash: req.SourceHash,
 			Section:    it.Section,
 			Index:      it.Index,
+			FuncHash:   it.FuncHash,
 			Opts:       req.Opts,
 		}, cache)
 		if err != nil {
@@ -238,38 +250,6 @@ func RunBatchWith(req BatchRequest, cache *fcache.Cache) ([]*CompileReply, error
 		replies[i] = r
 	}
 	return replies, nil
-}
-
-// warningOwner returns the function whose declaration contains pos: the
-// function with the greatest starting offset not after pos. It returns nil
-// for module-level positions before the first function.
-func warningOwner(m *ast.Module, pos source.Pos) *ast.FuncDecl {
-	var owner *ast.FuncDecl
-	for _, sec := range m.Sections {
-		for _, f := range sec.Funcs {
-			if f.Pos().Offset <= pos.Offset && (owner == nil || f.Pos().Offset > owner.Pos().Offset) {
-				owner = f
-			}
-		}
-	}
-	return owner
-}
-
-// frontendWarnings renders bag's warning diagnostics owned by fn — or, with
-// fn nil, the module-level warnings owned by no function. Splitting
-// ownership this way means each warning is reported by exactly one master
-// even though every function master sees the whole module's diagnostics.
-func frontendWarnings(m *ast.Module, bag *source.DiagBag, fn *ast.FuncDecl) []string {
-	var out []string
-	for _, d := range bag.All() {
-		if d.Severity != source.Warn {
-			continue
-		}
-		if warningOwner(m, d.Pos) == fn {
-			out = append(out, d.String())
-		}
-	}
-	return out
 }
 
 // SectionFunc is one function's combined result inside a SectionResult,
@@ -302,6 +282,12 @@ type SectionResult struct {
 	Units        int
 	Batches      int
 	BatchedFuncs int
+	// Unchanged counts functions the section master short-circuited from the
+	// local object tier before planning any dispatch; WorkerHits counts
+	// dispatched functions a worker answered from its own object tier
+	// without running phases 2+3.
+	Unchanged  int
+	WorkerHits int
 	// Warnings are all function masters' warnings in declaration order.
 	Warnings []string
 }
@@ -375,8 +361,19 @@ type DispatchStats struct {
 	BatchedFuncs int
 	// RankCorr is the Spearman rank correlation between estimated cost and
 	// measured CPU time per function (1 = the estimator orders perfectly,
-	// 0 = uninformative or too few samples).
+	// 0 = uninformative). With fewer than 3 sampled functions the statistic
+	// is meaningless noise and is reported as NaN (omitted from -stats).
 	RankCorr float64
+	// UnchangedFuncs counts functions short-circuited by section masters
+	// from the shared object tier before scheduling; IncrementalHits counts
+	// dispatched functions answered from a worker's object tier; only
+	// RecompiledFuncs actually ran phases 2+3. RecompileRatio is
+	// RecompiledFuncs over the module's function count — after a one-function
+	// edit of a warm module it approaches 1/N.
+	UnchangedFuncs  int
+	IncrementalHits int
+	RecompiledFuncs int
+	RecompileRatio  float64
 }
 
 // ParallelStats records the timing decomposition of one parallel
@@ -482,7 +479,7 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 		wg.Add(1)
 		go func(i int, so parser.SectionOutline) {
 			defer wg.Done()
-			results[i], errs[i] = runSectionMaster(file, src, srcHash, so, backend, opts, popts)
+			results[i], errs[i] = runSectionMaster(file, src, srcHash, so, backend, masterCache, opts, popts)
 		}(i, so)
 	}
 	wg.Wait()
@@ -494,7 +491,7 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 	// the structured diagnostics cannot cross the process boundary.
 	var funcResults []*compiler.FuncResult
 	var warnings []string
-	warnings = append(warnings, frontendWarnings(m, bag, nil)...)
+	warnings = append(warnings, compiler.FrontendWarnings(m, bag, nil)...)
 	for i, r := range results {
 		if errs[i] != nil {
 			return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, errs[i])
@@ -504,6 +501,8 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 		stats.Dispatch.Units += r.Units
 		stats.Dispatch.Batches += r.Batches
 		stats.Dispatch.BatchedFuncs += r.BatchedFuncs
+		stats.Dispatch.UnchangedFuncs += r.Unchanged
+		stats.Dispatch.IncrementalHits += r.WorkerHits
 		warnings = append(warnings, r.Warnings...)
 		for _, sf := range r.Funcs {
 			stats.FuncCPU[fmt.Sprintf("s%d/%s", r.Section, sf.Name)] = sf.CPUTime
@@ -520,6 +519,10 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 	}
 	stats.Warnings = len(warnings)
 	stats.Dispatch.RankCorr = estimatorAccuracy(outline, stats.FuncCPU)
+	if total := outline.NumFunctions(); total > 0 {
+		stats.Dispatch.RecompiledFuncs = total - stats.Dispatch.UnchangedFuncs - stats.Dispatch.IncrementalHits
+		stats.Dispatch.RecompileRatio = float64(stats.Dispatch.RecompiledFuncs) / float64(total)
+	}
 
 	// Master, step 4: the sequential tail (assembly already happened per
 	// function; what remains is linking and driver generation — the paper's
@@ -549,7 +552,10 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 
 // estimatorAccuracy computes the Spearman rank correlation between each
 // function's estimated cost (lines × loop nesting, from the outline) and
-// its measured CPU time.
+// its measured CPU time. Functions answered from cache have no measured
+// compile time and are excluded; with fewer than 3 samples the correlation
+// is meaningless noise (always ±1 for 1–2 points), so it is reported as NaN
+// and omitted from the stats output.
 func estimatorAccuracy(o *parser.Outline, funcCPU map[string]time.Duration) float64 {
 	var predicted, actual []float64
 	for _, so := range o.Sections {
@@ -561,6 +567,9 @@ func estimatorAccuracy(o *parser.Outline, funcCPU map[string]time.Duration) floa
 			predicted = append(predicted, sched.EstimateCost(sched.Task{Lines: fo.Lines, LoopDepth: fo.LoopDepth}))
 			actual = append(actual, cpu.Seconds())
 		}
+	}
+	if len(predicted) < 3 {
+		return math.NaN()
 	}
 	return sched.RankCorrelation(predicted, actual)
 }
@@ -580,24 +589,42 @@ type unitDone struct {
 // the slowest in-flight compiles instead of serializing after a
 // whole-section barrier. Output (objects, warnings) is emitted in
 // declaration order regardless of arrival order.
-func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
+//
+// Before planning anything, the section master probes masterCache's object
+// tier with each function's incremental hash: unchanged functions are
+// answered on the spot and never reach sched.Plan, so the cost model only
+// schedules the functions that genuinely need compiling.
+func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
 	t0 := time.Now()
-	tasks := make([]sched.Task, len(so.Functions))
+	res := &SectionResult{
+		Section: so.Index,
+		Funcs:   make([]SectionFunc, len(so.Functions)),
+	}
+	tasks := make([]sched.Task, 0, len(so.Functions))
 	for i, fo := range so.Functions {
-		tasks[i] = sched.Task{
+		if entry, ok := compiler.LookupObject(masterCache, fcache.FuncHash(fo.Hash), opts); ok && entry.Name == fo.Name {
+			if obj, err := entry.Object(); err == nil {
+				res.Funcs[i] = SectionFunc{
+					Name:     entry.Name,
+					Object:   obj,
+					Lines:    entry.Lines,
+					Warnings: entry.Warnings,
+				}
+				res.Unchanged++
+				continue
+			}
+			// An undecodable cached object is treated as a miss: recompile.
+		}
+		tasks = append(tasks, sched.Task{
 			Name:      fo.Name,
 			Section:   fo.Section,
 			Index:     fo.Index,
 			Lines:     fo.Lines,
 			LoopDepth: fo.LoopDepth,
-		}
+		})
 	}
 	units := sched.Plan(tasks, popts.planThreshold(), backend.Workers())
-	res := &SectionResult{
-		Section: so.Index,
-		Funcs:   make([]SectionFunc, len(so.Functions)),
-		Units:   len(units),
-	}
+	res.Units = len(units)
 	for _, u := range units {
 		if u.IsBatch() {
 			res.Batches++
@@ -611,7 +638,7 @@ func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so par
 		if u.IsBatch() && canBatch {
 			items := make([]BatchItem, len(u.Tasks))
 			for i, t := range u.Tasks {
-				items[i] = BatchItem{Section: t.Section, Index: t.Index}
+				items[i] = BatchItem{Section: t.Section, Index: t.Index, FuncHash: fcache.FuncHash(so.Functions[t.Index].Hash)}
 			}
 			return batcher.CompileBatch(BatchRequest{
 				File:       file,
@@ -631,6 +658,7 @@ func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so par
 				SourceHash: srcHash,
 				Section:    t.Section,
 				Index:      t.Index,
+				FuncHash:   fcache.FuncHash(so.Functions[t.Index].Hash),
 				Opts:       opts,
 			})
 			if err != nil {
@@ -687,6 +715,9 @@ func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so par
 				Warnings: r.Warnings,
 			}
 			res.CPUTime += r.CPUTime
+			if r.CacheHit {
+				res.WorkerHits++
+			}
 		}
 	}
 

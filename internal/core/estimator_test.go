@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/parser"
+)
+
+// TestEstimatorAccuracySampleGuard: Spearman rank correlation over fewer
+// than 3 samples is noise (always ±1), so estimatorAccuracy must report NaN
+// — which the stats printer omits — and switch to a real value at 3.
+func TestEstimatorAccuracySampleGuard(t *testing.T) {
+	outline := func(n int) (*parser.Outline, map[string]time.Duration) {
+		so := parser.SectionOutline{Index: 1}
+		cpu := make(map[string]time.Duration)
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			so.Functions = append(so.Functions, parser.FuncOutline{
+				Name: name, Section: 1, Lines: 10 * (i + 1), LoopDepth: 1,
+			})
+			cpu["s1/"+name] = time.Duration(i+1) * time.Millisecond
+		}
+		return &parser.Outline{Sections: []parser.SectionOutline{so}}, cpu
+	}
+
+	for n := 0; n < 3; n++ {
+		o, cpu := outline(n)
+		if got := estimatorAccuracy(o, cpu); !math.IsNaN(got) {
+			t.Errorf("%d samples: estimatorAccuracy = %v, want NaN", n, got)
+		}
+	}
+	o, cpu := outline(3)
+	got := estimatorAccuracy(o, cpu)
+	if math.IsNaN(got) || got < -1 || got > 1 {
+		t.Errorf("3 samples: estimatorAccuracy = %v, want a correlation in [-1,1]", got)
+	}
+
+	// Functions without a recorded CPU time (cache hits never ran) do not
+	// count as samples.
+	o4, cpu4 := outline(4)
+	delete(cpu4, "s1/a")
+	delete(cpu4, "s1/b")
+	if got := estimatorAccuracy(o4, cpu4); !math.IsNaN(got) {
+		t.Errorf("2 measured of 4: estimatorAccuracy = %v, want NaN", got)
+	}
+}

@@ -2,25 +2,37 @@
 // cache. The paper's function masters re-derive everything from source
 // because the SUN workstations "share only the file system"; fcache relaxes
 // exactly that constraint without changing any observable output. It keeps
-// two tiers of immutable compilation artifacts keyed by the SHA-256 of the
-// module source:
+// three tiers of immutable compilation artifacts:
 //
-//	frontend tier    hash                           -> checked (*ast.Module, *sem.Info, diagnostics)
-//	section-IR tier  (hash, section)                -> the section's lowered, inlined ir.Funcs
-//	object tier      (hash, section, func, options) -> the finished per-function artifact
+//	frontend tier  module hash          -> checked (*ast.Module, *sem.Info, diagnostics, per-function hashes)
+//	func-IR tier   FuncHash             -> the function's lowered, inlined ir.Func
+//	object tier    (FuncHash, options)  -> the finished per-function artifact
 //
-// plus a source store (hash -> source bytes) that lets distributed section
-// masters send a 32-byte hash instead of the whole module on every request —
-// the modern analog of the paper's shared file server. The first two tiers
-// kill redundant parse/check/lower work within one compilation; the object
-// tier makes recompiling unchanged source nearly free (the ccache model),
-// which is what repeated builds in an edit-compile loop actually hit.
+// plus a source store (module hash -> source bytes) that lets distributed
+// section masters send a 32-byte hash instead of the whole module on every
+// request — the modern analog of the paper's shared file server.
 //
-// The cache is bounded (LRU over an approximate byte budget) and deduplicates
-// in-flight work singleflight-style: concurrent requests for the same key
-// perform the computation exactly once. Cached values are shared and must be
-// treated as immutable by all callers; anything that will be mutated (the
-// target ir.Func of a compilation) must be deep-copied first (ir.Func.Clone).
+// The frontend tier is keyed by the whole-module source hash (parsing is
+// inherently whole-module work), but the IR and object tiers are keyed by
+// FuncHash: a content address of one function's normalized byte span plus
+// everything its compilation can observe (module header, section header,
+// transitive same-section callees, entry-ness). The paper's partition
+// boundary — "each function can be compiled independently" — is exactly the
+// soundness argument for this grain: an edit to one function leaves every
+// other function's cached IR and object valid, so recompiling a module after
+// a one-function edit runs phases 2+3 for that function alone.
+//
+// The object tier may additionally be backed by a disk directory (AttachDisk,
+// or the WARP_CACHE_DIR environment variable via NewEnv): entries are written
+// as content-addressed files with atomic renames, so a fresh warpcc run — and
+// a restarted warpworker — starts warm. See disk.go.
+//
+// The in-memory cache is bounded (LRU over an approximate byte budget) and
+// deduplicates in-flight work singleflight-style: concurrent requests for the
+// same key perform the computation exactly once. Cached values are shared and
+// must be treated as immutable by all callers; anything that will be mutated
+// (the target ir.Func of a compilation) must be deep-copied first
+// (ir.Func.Clone).
 //
 // All methods are safe for concurrent use and tolerate a nil *Cache, which
 // degrades to the uncached re-derive-everything behavior.
@@ -31,8 +43,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"sync"
 
+	"repro/internal/asm"
 	"repro/internal/ast"
 	"repro/internal/ir"
 	"repro/internal/sem"
@@ -51,14 +65,43 @@ func (h SourceHash) String() string { return hex.EncodeToString(h[:]) }
 // IsZero reports whether h is the zero (absent) hash.
 func (h SourceHash) IsZero() bool { return h == SourceHash{} }
 
+// FuncHash is the content address of one function's compilation inputs: the
+// SHA-256 of its normalized declaration span together with the module
+// header, its section header, its transitive same-section callees' spans,
+// and its entry-function flag (internal/parser computes it — see
+// parser.OutlineWithHashes). Everything phases 2+3 produce for a function is
+// a pure function of these inputs plus the options variant, which is why the
+// IR and object tiers key on it.
+type FuncHash [sha256.Size]byte
+
+// String renders the hash in hex.
+func (h FuncHash) String() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether h is the zero (absent) hash. Cache methods treat a
+// zero FuncHash as "unkeyed" and degrade to building without storing.
+func (h FuncHash) IsZero() bool { return h == FuncHash{} }
+
+// FuncKey locates one function in a module: section number (1-based) and
+// position within the section (0-based). FrontendEntry.FuncHashes is keyed
+// by it.
+type FuncKey struct {
+	Section int
+	Index   int
+}
+
 // DefaultMaxBytes is the default cache budget. Artifacts are small relative
 // to modern memories; the bound exists so long-running workers cannot grow
 // without limit across many distinct modules.
 const DefaultMaxBytes = 256 << 20
 
+// EnvCacheDir is the environment variable consulted by NewEnv for a
+// disk-backed object tier shared across processes.
+const EnvCacheDir = "WARP_CACHE_DIR"
+
 // Stats is a snapshot of cache effectiveness counters. Pools aggregate
-// worker stats with Add; RPCBytesSaved is filled by the RPC pool (bytes of
-// source not re-sent because the worker already held it).
+// worker stats with Add; RPCBytesSaved and SourcePushes are filled by the
+// RPC pool (bytes of source not re-sent because the worker already held it,
+// and StoreSource calls actually issued).
 type Stats struct {
 	FrontendHits   int64
 	FrontendMisses int64
@@ -73,11 +116,20 @@ type Stats struct {
 	BytesUsed      int64
 	BytesMax       int64
 	RPCBytesSaved  int64
+	// SourcePushes counts StoreSource RPCs issued by a pool — zero on a warm
+	// run whose every function was answered from the object tier.
+	SourcePushes int64
+	// Disk counters cover the persistent object tier (zero without one).
+	DiskHits      int64
+	DiskMisses    int64
+	DiskWrites    int64
+	DiskEvictions int64
+	DiskErrors    int64 // corrupt or unreadable entries discarded
 }
 
-// Hits totals all tiers' hits.
+// Hits totals all tiers' hits (memory tiers plus disk).
 func (s Stats) Hits() int64 {
-	return s.FrontendHits + s.IRHits + s.ObjectHits + s.SourceHits
+	return s.FrontendHits + s.IRHits + s.ObjectHits + s.SourceHits + s.DiskHits
 }
 
 // Misses totals all tiers' misses.
@@ -100,13 +152,24 @@ func (s *Stats) Add(o Stats) {
 	s.BytesUsed += o.BytesUsed
 	s.BytesMax += o.BytesMax
 	s.RPCBytesSaved += o.RPCBytesSaved
+	s.SourcePushes += o.SourcePushes
+	s.DiskHits += o.DiskHits
+	s.DiskMisses += o.DiskMisses
+	s.DiskWrites += o.DiskWrites
+	s.DiskEvictions += o.DiskEvictions
+	s.DiskErrors += o.DiskErrors
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("frontend %d/%d, ir %d/%d, object %d/%d, source %d/%d hit/miss; %d evictions, %d B resident, %d B rpc saved",
+	out := fmt.Sprintf("frontend %d/%d, ir %d/%d, object %d/%d, source %d/%d hit/miss; %d evictions, %d B resident, %d B rpc saved",
 		s.FrontendHits, s.FrontendMisses, s.IRHits, s.IRMisses,
 		s.ObjectHits, s.ObjectMisses,
 		s.SourceHits, s.SourceMisses, s.Evictions, s.BytesUsed, s.RPCBytesSaved)
+	if s.DiskHits+s.DiskMisses+s.DiskWrites+s.DiskErrors > 0 {
+		out += fmt.Sprintf("; disk %d/%d hit/miss, %d writes, %d evictions, %d errors",
+			s.DiskHits, s.DiskMisses, s.DiskWrites, s.DiskEvictions, s.DiskErrors)
+	}
+	return out
 }
 
 // FrontendEntry is one cached phase-1 result. Bag may hold errors; the entry
@@ -115,6 +178,57 @@ type FrontendEntry struct {
 	Module *ast.Module
 	Info   *sem.Info
 	Bag    *source.DiagBag
+	// FuncHashes maps every function of the module to its incremental
+	// content address (empty when the frontend failed). Computed once per
+	// source alongside the checked AST so every per-function compile keys
+	// its IR and object lookups without re-deriving spans.
+	FuncHashes map[FuncKey]FuncHash
+}
+
+// ObjectEntry is one finished per-function compilation artifact — the value
+// of the object tier and the unit persisted by the disk tier. It carries
+// everything a function master's reply needs, so a cache hit answers a
+// request without re-running any phase: the wire-encoded object and the
+// function master's complete warning list (frontend warnings owned by the
+// function plus phase-2/3 warnings, pre-rendered in emission order).
+//
+// Entries are shared and immutable. Exported fields are the persisted
+// surface (gob); the decoded object is reconstructed lazily and memoized.
+type ObjectEntry struct {
+	Name        string
+	Section     int
+	IsEntry     bool
+	Lines       int
+	ObjectBytes []byte
+	Warnings    []string
+
+	once sync.Once
+	obj  *asm.Object
+	err  error
+}
+
+// Object returns the decoded object, decoding ObjectBytes once and sharing
+// the result. Callers must treat it as immutable (the decoded object is
+// shared by every hit).
+func (e *ObjectEntry) Object() (*asm.Object, error) {
+	e.once.Do(func() { e.obj, e.err = asm.Decode(e.ObjectBytes) })
+	return e.obj, e.err
+}
+
+// SetObject installs a pre-decoded object (the build path already has one,
+// so hits never pay the first decode). The object must correspond to
+// ObjectBytes.
+func (e *ObjectEntry) SetObject(obj *asm.Object) {
+	e.once.Do(func() { e.obj = obj })
+}
+
+// Cost estimates the entry's resident bytes.
+func (e *ObjectEntry) Cost() int64 {
+	cost := int64(1024) + int64(len(e.ObjectBytes))*3 // bytes + decoded object
+	for _, w := range e.Warnings {
+		cost += int64(len(w))
+	}
+	return cost
 }
 
 // Cache is a bounded content-addressed cache. The zero value is not usable;
@@ -128,6 +242,8 @@ type Cache struct {
 	items    map[string]*list.Element
 	inflight map[string]*call
 	stats    Stats
+
+	disk *diskTier // nil without a persistent object tier
 }
 
 type entry struct {
@@ -156,6 +272,51 @@ func New(maxBytes int64) *Cache {
 	}
 }
 
+// NewEnv returns New(maxBytes) with a disk-backed object tier attached when
+// the WARP_CACHE_DIR environment variable names a directory. A directory
+// that cannot be opened degrades to memory-only with a note on stderr —
+// cache trouble must never fail a compilation.
+func NewEnv(maxBytes int64) *Cache {
+	c := New(maxBytes)
+	if dir := os.Getenv(EnvCacheDir); dir != "" {
+		if err := c.AttachDisk(dir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "fcache: disk cache at %s disabled: %v\n", dir, err)
+		}
+	}
+	return c
+}
+
+// AttachDisk layers a persistent object tier under the in-memory cache:
+// object entries missing from memory are looked up in dir, and freshly built
+// entries are written there (atomic rename), so the next process over the
+// same directory starts warm. maxBytes caps the directory size (GC by
+// access time; < 1 selects DefaultDiskMaxBytes). Opening scans the
+// directory to rebuild the index and removes leftovers of interrupted
+// writes.
+func (c *Cache) AttachDisk(dir string, maxBytes int64) error {
+	d, err := openDiskTier(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return nil
+}
+
+// DiskDir returns the directory of the attached disk tier ("" without one).
+func (c *Cache) DiskDir() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk == nil {
+		return ""
+	}
+	return c.disk.dir
+}
+
 // Frontend returns the checked frontend artifacts for the module whose
 // source hashes to h, computing them with build on a miss. build must be a
 // pure function of the source content; it is invoked at most once per key
@@ -172,42 +333,131 @@ func (c *Cache) Frontend(h SourceHash, build func() (*FrontendEntry, int64)) *Fr
 	return v.(*FrontendEntry)
 }
 
-// SectionIR returns the lowered, inlined flowgraphs of the given section (in
-// declaration order, call-free) for the module hashing to h, computing them
-// with build on a miss. The returned funcs are shared: callers must not
-// mutate them — deep-copy (Clone) any func before optimizing it. Build
-// errors are returned but not cached.
-func (c *Cache) SectionIR(h SourceHash, section int, build func() ([]*ir.Func, error)) ([]*ir.Func, error) {
-	if c == nil {
+// FuncIR returns the lowered, inlined (call-free) flowgraph of the function
+// whose compilation inputs hash to fh, computing it with build on a miss.
+// The returned func is shared: callers must not mutate it — deep-copy
+// (Clone) before optimizing. Build errors are returned but not cached. A
+// zero fh degrades to an uncached build.
+func (c *Cache) FuncIR(fh FuncHash, build func() (*ir.Func, error)) (*ir.Func, error) {
+	if c == nil || fh.IsZero() {
 		return build()
 	}
-	key := fmt.Sprintf("ir:%s:%d", h.String(), section)
-	v, err := c.getOrCompute(key, tierIR, func() (any, int64, error) {
-		fs, err := build()
+	v, err := c.getOrCompute("ir:"+fh.String(), tierIR, func() (any, int64, error) {
+		f, err := build()
 		if err != nil {
 			return nil, 0, err
 		}
-		return fs, irCost(fs), nil
+		return f, funcIRCost(f), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]*ir.Func), nil
+	return v.(*ir.Func), nil
 }
 
-// FuncObject returns the finished compilation artifact for function index of
-// the given section (of the module hashing to h), computing it with build on
-// a miss. variant distinguishes compilations of the same function under
-// different option sets. The value is opaque to the cache — the compiler
-// package owns the concrete type — and is shared on hit, so callers must
-// treat it as immutable. Build errors are returned but not cached.
-func (c *Cache) FuncObject(h SourceHash, section, index int, variant string, build func() (any, int64, error)) (any, error) {
-	if c == nil {
-		v, _, err := build()
-		return v, err
+// Object returns the finished artifact for the function whose compilation
+// inputs hash to fh under the given options variant, computing it with build
+// on a miss. Lookups check memory first, then the disk tier (if attached);
+// fresh builds are written through to disk. The entry is shared on hit, so
+// callers must treat it as immutable. Build errors are returned but not
+// cached. A zero fh degrades to an uncached build.
+func (c *Cache) Object(fh FuncHash, variant string, build func() (*ObjectEntry, error)) (*ObjectEntry, error) {
+	if c == nil || fh.IsZero() {
+		return build()
 	}
-	key := fmt.Sprintf("obj:%s:%d:%d:%s", h.String(), section, index, variant)
-	return c.getOrCompute(key, tierObject, build)
+	key := objectKey(fh, variant)
+	v, err := c.getOrCompute(key, tierObject, func() (any, int64, error) {
+		if e, ok := c.diskLoad(key); ok {
+			return e, e.Cost(), nil
+		}
+		e, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		c.diskStore(key, e)
+		return e, e.Cost(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ObjectEntry), nil
+}
+
+// PeekObject is a lookup-only probe of the object tier (memory, then disk):
+// it never computes anything, so masters use it to short-circuit unchanged
+// functions before planning any dispatch, and workers use it to answer
+// hash-only requests without needing the source. A hit counts toward
+// ObjectHits (or DiskHits); a peek miss is not counted as a miss, keeping
+// ObjectMisses == "objects actually built".
+func (c *Cache) PeekObject(fh FuncHash, variant string) (*ObjectEntry, bool) {
+	if c == nil || fh.IsZero() {
+		return nil, false
+	}
+	key := objectKey(fh, variant)
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.ObjectHits++
+		e := el.Value.(*entry).val.(*ObjectEntry)
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+	if e, ok := c.diskLoad(key); ok {
+		c.mu.Lock()
+		c.stats.ObjectHits++
+		c.insertLocked(key, e, e.Cost())
+		c.mu.Unlock()
+		return e, true
+	}
+	return nil, false
+}
+
+func objectKey(fh FuncHash, variant string) string {
+	return "obj:" + fh.String() + ":" + variant
+}
+
+// diskLoad probes the disk tier for key, counting hits/misses/corruption.
+func (c *Cache) diskLoad(key string) (*ObjectEntry, bool) {
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return nil, false
+	}
+	e, ok, err := d.load(key)
+	c.mu.Lock()
+	switch {
+	case err != nil:
+		c.stats.DiskErrors++
+		c.stats.DiskMisses++
+	case ok:
+		c.stats.DiskHits++
+	default:
+		c.stats.DiskMisses++
+	}
+	c.mu.Unlock()
+	return e, ok
+}
+
+// diskStore writes a freshly built entry through to the disk tier.
+func (c *Cache) diskStore(key string, e *ObjectEntry) {
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return
+	}
+	written, evicted, err := d.store(key, e)
+	c.mu.Lock()
+	if written {
+		c.stats.DiskWrites++
+	}
+	c.stats.DiskEvictions += evicted
+	if err != nil {
+		c.stats.DiskErrors++
+	}
+	c.mu.Unlock()
 }
 
 // PutSource stores module source under its content address. The caller is
@@ -355,11 +605,7 @@ func (c *Cache) insertLocked(key string, val any, cost int64) {
 	}
 }
 
-// irCost estimates the resident cost of a section's flowgraphs.
-func irCost(fs []*ir.Func) int64 {
-	cost := int64(256)
-	for _, f := range fs {
-		cost += 512 + 48*int64(f.NumInstrs()) + 8*int64(f.NumVRegs())
-	}
-	return cost
+// funcIRCost estimates the resident cost of one flowgraph.
+func funcIRCost(f *ir.Func) int64 {
+	return 512 + 48*int64(f.NumInstrs()) + 8*int64(f.NumVRegs())
 }

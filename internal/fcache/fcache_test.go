@@ -1,6 +1,7 @@
 package fcache
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,9 @@ import (
 )
 
 func feEntry() (*FrontendEntry, int64) { return &FrontendEntry{}, 100 }
+
+// fh derives a distinct FuncHash from a label.
+func fh(s string) FuncHash { return FuncHash(sha256.Sum256([]byte(s))) }
 
 func TestHashSource(t *testing.T) {
 	a := HashSource([]byte("module m"))
@@ -49,26 +53,41 @@ func TestHitMissAccounting(t *testing.T) {
 			want: Stats{FrontendHits: 1, FrontendMisses: 2},
 		},
 		{
-			name: "section ir keyed by hash and section",
+			name: "func ir keyed by function hash",
 			run: func(c *Cache) {
-				build := func() ([]*ir.Func, error) { return nil, nil }
-				c.SectionIR(h1, 1, build)
-				c.SectionIR(h1, 1, build)
-				c.SectionIR(h1, 2, build) // same module, other section: miss
-				c.SectionIR(h2, 1, build) // other module, same section: miss
+				build := func() (*ir.Func, error) { return &ir.Func{}, nil }
+				c.FuncIR(fh("f"), build)
+				c.FuncIR(fh("f"), build)
+				c.FuncIR(fh("g"), build)    // other function: miss
+				c.FuncIR(FuncHash{}, build) // zero hash: uncached, uncounted
 			},
-			want: Stats{IRHits: 1, IRMisses: 3},
+			want: Stats{IRHits: 1, IRMisses: 2},
 		},
 		{
-			name: "object keyed by hash, section, index, and variant",
+			name: "object keyed by function hash and variant",
 			run: func(c *Cache) {
-				build := func() (any, int64, error) { return "obj", 64, nil }
-				c.FuncObject(h1, 1, 0, "full", build)
-				c.FuncObject(h1, 1, 0, "full", build)
-				c.FuncObject(h1, 1, 1, "full", build)   // other function: miss
-				c.FuncObject(h1, 1, 0, "no-opt", build) // other options: miss
+				build := func() (*ObjectEntry, error) { return &ObjectEntry{Name: "f"}, nil }
+				c.Object(fh("f"), "default", build)
+				c.Object(fh("f"), "default", build)
+				c.Object(fh("g"), "default", build) // other function: miss
+				c.Object(fh("f"), "no-opt", build)  // other options: miss
 			},
 			want: Stats{ObjectHits: 1, ObjectMisses: 3},
+		},
+		{
+			name: "peek counts hits but not misses",
+			run: func(c *Cache) {
+				if _, ok := c.PeekObject(fh("f"), "default"); ok {
+					panic("peek hit on empty cache")
+				}
+				c.Object(fh("f"), "default", func() (*ObjectEntry, error) {
+					return &ObjectEntry{Name: "f"}, nil
+				})
+				if _, ok := c.PeekObject(fh("f"), "default"); !ok {
+					panic("peek missed a resident entry")
+				}
+			},
+			want: Stats{ObjectHits: 1, ObjectMisses: 1},
 		},
 		{
 			name: "source store",
@@ -86,11 +105,11 @@ func TestHitMissAccounting(t *testing.T) {
 		{
 			name: "ir build errors are returned, not cached",
 			run: func(c *Cache) {
-				build := func() ([]*ir.Func, error) { return nil, errors.New("boom") }
-				if _, err := c.SectionIR(h1, 1, build); err == nil {
+				build := func() (*ir.Func, error) { return nil, errors.New("boom") }
+				if _, err := c.FuncIR(fh("f"), build); err == nil {
 					panic("expected error")
 				}
-				if _, err := c.SectionIR(h1, 1, build); err == nil {
+				if _, err := c.FuncIR(fh("f"), build); err == nil {
 					panic("expected error on rebuild")
 				}
 			},
@@ -207,7 +226,6 @@ func TestConcurrentSameKeyComputesOnce(t *testing.T) {
 // computation sees the error, and the key stays uncached.
 func TestConcurrentErrorPropagatesToWaiters(t *testing.T) {
 	c := New(1 << 20)
-	h := HashSource([]byte("bad"))
 	var builds atomic.Int64
 
 	const n = 8
@@ -217,7 +235,7 @@ func TestConcurrentErrorPropagatesToWaiters(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = c.SectionIR(h, 1, func() ([]*ir.Func, error) {
+			_, errs[i] = c.FuncIR(fh("fail"), func() (*ir.Func, error) {
 				builds.Add(1)
 				return nil, errors.New("lowering failed")
 			})
@@ -248,8 +266,11 @@ func TestNilCacheDegradesGracefully(t *testing.T) {
 	if e == nil || builds != 1 {
 		t.Error("nil cache must pass through to the builder")
 	}
-	if _, err := c.SectionIR(h, 1, func() ([]*ir.Func, error) { return nil, nil }); err != nil {
+	if _, err := c.FuncIR(fh("x"), func() (*ir.Func, error) { return &ir.Func{}, nil }); err != nil {
 		t.Error(err)
+	}
+	if _, ok := c.PeekObject(fh("x"), "default"); ok {
+		t.Error("nil cache peek must miss")
 	}
 	c.PutSource(h, []byte("x"))
 	if _, ok := c.Source(h); ok {

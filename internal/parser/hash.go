@@ -1,0 +1,209 @@
+package parser
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// FuncHash is the incremental content address of one function's compilation
+// inputs (see FuncHashes). It shares its underlying type with
+// fcache.FuncHash — the cache package cannot be imported from here without
+// a cycle — and converts directly.
+type FuncHash [sha256.Size]byte
+
+// IsZero reports whether h is the zero (absent) hash.
+func (h FuncHash) IsZero() bool { return h == FuncHash{} }
+
+// FuncKey locates one function in a module: section number (1-based) and
+// position within the section (0-based).
+type FuncKey struct {
+	Section int
+	Index   int
+}
+
+// funcHashVersion domain-separates FuncHash values: bump it whenever the
+// hashed inputs or normalization change, so stale persistent cache entries
+// from an older scheme can never be returned.
+const funcHashVersion = "w2-funchash-v1\x00"
+
+// DirectCalls returns the indices (ascending, deduplicated) of the earlier
+// same-section functions that sec.Funcs[i] calls directly. Only earlier
+// functions are callable in W2 (the checker enforces declaration order), and
+// only same-section calls exist, so these are exactly the functions whose
+// bodies get inlined into sec.Funcs[i] during lowering — the reason a
+// function's incremental hash must cover its callees. When several earlier
+// functions share a name, the latest declaration wins, matching the name
+// resolution used by lowering.
+func DirectCalls(sec *ast.Section, i int) []int {
+	byName := make(map[string]int, i)
+	for j := 0; j < i; j++ {
+		byName[sec.Funcs[j].Name] = j
+	}
+	seen := make(map[int]bool)
+	ast.Inspect(sec.Funcs[i].Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if j, ok := byName[call.Fun.Name]; ok {
+				seen[j] = true
+			}
+		}
+		return true
+	})
+	deps := make([]int, 0, len(seen))
+	for j := range seen {
+		deps = append(deps, j)
+	}
+	sort.Ints(deps)
+	return deps
+}
+
+// transitiveCalls returns, for every function of sec, the ascending indices
+// of all earlier functions it transitively depends on (direct callees plus
+// their callees, and so on). Dependencies always point at strictly smaller
+// indices, so one forward pass suffices.
+func transitiveCalls(sec *ast.Section) [][]int {
+	closure := make([][]int, len(sec.Funcs))
+	for i := range sec.Funcs {
+		set := make(map[int]bool)
+		for _, j := range DirectCalls(sec, i) {
+			set[j] = true
+			for _, k := range closure[j] {
+				set[k] = true
+			}
+		}
+		deps := make([]int, 0, len(set))
+		for j := range set {
+			deps = append(deps, j)
+		}
+		sort.Ints(deps)
+		closure[i] = deps
+	}
+	return closure
+}
+
+// hashNorm writes the whitespace-normalized form of span into w followed by
+// a separator: each line with leading/trailing spaces, tabs, and carriage
+// returns stripped, blank lines dropped, '\n' after every kept line. Edits
+// to indentation or blank lines therefore leave every FuncHash unchanged.
+func hashNorm(w io.Writer, span []byte) {
+	start := 0
+	flush := func(end int) {
+		lo, hi := start, end
+		for lo < hi && (span[lo] == ' ' || span[lo] == '\t' || span[lo] == '\r') {
+			lo++
+		}
+		for hi > lo && (span[hi-1] == ' ' || span[hi-1] == '\t' || span[hi-1] == '\r') {
+			hi--
+		}
+		if lo < hi {
+			w.Write(span[lo:hi])
+			w.Write([]byte{'\n'})
+		}
+	}
+	for i, b := range span {
+		if b == '\n' {
+			flush(i)
+			start = i + 1
+		}
+	}
+	flush(len(span))
+	w.Write([]byte{0})
+}
+
+// span extracts src[start:end], reporting whether the bounds are valid.
+// Invalid bounds (a hand-built AST with zero positions, or error recovery)
+// yield ok=false, which degrades the function to a zero — uncacheable —
+// hash rather than a colliding one.
+func span(src []byte, start, end int) ([]byte, bool) {
+	if start < 0 || end < start || end > len(src) {
+		return nil, false
+	}
+	return src[start:end], true
+}
+
+// funcSpan returns the byte span of one function declaration: the function
+// keyword through its body's closing brace, inclusive.
+func funcSpan(src []byte, fn *ast.FuncDecl) ([]byte, bool) {
+	if fn.Body == nil {
+		return nil, false
+	}
+	return span(src, fn.FuncPos.Offset, fn.Body.RbracePos.Offset+1)
+}
+
+// sectionHashes computes the FuncHash of every function in sec. moduleHeader
+// is the normalized-as-is module prelude (module declaration and stream
+// parameters) that every function's compilation can observe through the
+// checker. A function's hash covers, in order: the version tag, the module
+// header, the section header (section keyword through its opening brace —
+// the section index and count live here), the spans of its transitive
+// callees in ascending index order, its own span, and its entry-function
+// flag (the last function of a section compiles differently: it becomes the
+// cell program). Any span that cannot be extracted zeroes the hash for the
+// affected functions, making them uncacheable rather than wrongly shared.
+func sectionHashes(src []byte, moduleHeader []byte, sec *ast.Section) []FuncHash {
+	hashes := make([]FuncHash, len(sec.Funcs))
+	header, headerOK := span(src, sec.SectionPos.Offset, sec.LbracePos.Offset+1)
+	spans := make([][]byte, len(sec.Funcs))
+	spanOK := make([]bool, len(sec.Funcs))
+	for i, fn := range sec.Funcs {
+		spans[i], spanOK[i] = funcSpan(src, fn)
+	}
+	closure := transitiveCalls(sec)
+	for i := range sec.Funcs {
+		if !headerOK || !spanOK[i] {
+			continue
+		}
+		ok := true
+		for _, j := range closure[i] {
+			if !spanOK[j] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		hh := sha256.New()
+		hh.Write([]byte(funcHashVersion))
+		hashNorm(hh, moduleHeader)
+		hashNorm(hh, header)
+		for _, j := range closure[i] {
+			hashNorm(hh, spans[j])
+		}
+		hashNorm(hh, spans[i])
+		fmt.Fprintf(hh, "entry=%t", i == len(sec.Funcs)-1)
+		copy(hashes[i][:], hh.Sum(nil))
+	}
+	return hashes
+}
+
+// moduleHeaderSpan returns the module prelude: everything before the first
+// section keyword.
+func moduleHeaderSpan(src []byte, m *ast.Module) ([]byte, bool) {
+	if len(m.Sections) == 0 {
+		return nil, true
+	}
+	return span(src, 0, m.Sections[0].SectionPos.Offset)
+}
+
+// FuncHashes computes the incremental content address of every function of
+// an already-parsed module against its exact source bytes. Functions whose
+// byte spans cannot be recovered (hand-built ASTs without positions) get the
+// zero hash, which every cache tier treats as uncacheable.
+func FuncHashes(m *ast.Module, src []byte) map[FuncKey]FuncHash {
+	out := make(map[FuncKey]FuncHash, m.NumFunctions())
+	header, ok := moduleHeaderSpan(src, m)
+	if !ok {
+		header = nil
+	}
+	for _, sec := range m.Sections {
+		hashes := sectionHashes(src, header, sec)
+		for i := range sec.Funcs {
+			out[FuncKey{Section: sec.Index, Index: i}] = hashes[i]
+		}
+	}
+	return out
+}

@@ -22,13 +22,27 @@ type SectionOutline struct {
 	Functions []FuncOutline
 }
 
-// FuncOutline summarizes one function for scheduling purposes.
+// FuncOutline summarizes one function for scheduling purposes, and — when
+// the outline was built against source bytes — for incremental reuse: the
+// exact byte span of the declaration and its content address.
 type FuncOutline struct {
 	Name      string
 	Section   int // 1-based section number
 	Index     int // 0-based position within the section
 	Lines     int // formatted lines of code (the paper's size metric)
 	LoopDepth int // deepest loop nesting
+
+	// SpanStart/SpanEnd delimit the declaration's byte span in the source
+	// (function keyword through closing brace, end exclusive), and BodyStart
+	// is the offset of the body's opening brace. Zero when the outline was
+	// computed without source (OutlineOf).
+	SpanStart int
+	SpanEnd   int
+	BodyStart int
+	// Hash is the function's incremental content address (zero without
+	// source). Masters probe the object tier with it before scheduling, and
+	// dispatch requests carry it so workers can answer from cache.
+	Hash FuncHash
 }
 
 // NumFunctions returns the total number of functions in the outline.
@@ -68,13 +82,37 @@ func OutlineOf(m *ast.Module) *Outline {
 	return o
 }
 
+// OutlineWithHashes computes the structural summary of a parsed module
+// against its exact source bytes, filling each function's byte span and
+// incremental content address (FuncHashes) in addition to the scheduling
+// metrics.
+func OutlineWithHashes(m *ast.Module, src []byte) *Outline {
+	o := OutlineOf(m)
+	hashes := FuncHashes(m, src)
+	for si, sec := range m.Sections {
+		for i, fn := range sec.Funcs {
+			fo := &o.Sections[si].Functions[i]
+			fo.Hash = hashes[FuncKey{Section: sec.Index, Index: i}]
+			if fn.Body != nil {
+				if sp, ok := span(src, fn.FuncPos.Offset, fn.Body.RbracePos.Offset+1); ok && len(sp) > 0 {
+					fo.SpanStart = fn.FuncPos.Offset
+					fo.SpanEnd = fn.Body.RbracePos.Offset + 1
+					fo.BodyStart = fn.Body.LbracePos.Offset
+				}
+			}
+		}
+	}
+	return o
+}
+
 // ParseOutline performs the master's structural parse: a full parse of src
-// followed by outline extraction. Any syntax error lands in diags, which is
-// how the paper's master aborts the compilation before forking anything.
+// followed by outline extraction (spans and incremental hashes included).
+// Any syntax error lands in diags, which is how the paper's master aborts
+// the compilation before forking anything.
 func ParseOutline(file string, src []byte, diags *source.DiagBag) *Outline {
 	m := Parse(file, src, diags)
 	if m == nil || diags.HasErrors() {
 		return nil
 	}
-	return OutlineOf(m)
+	return OutlineWithHashes(m, src)
 }

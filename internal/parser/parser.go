@@ -152,7 +152,7 @@ func (p *parser) section() *ast.Section {
 	if p.accept(source.OF) {
 		s.Of = p.intLit("section count")
 	}
-	p.expect(source.LBRACE)
+	s.LbracePos = p.expect(source.LBRACE)
 	for p.tok == source.FUNCTION {
 		f := p.funcDecl()
 		f.SectionIndex = s.Index
@@ -247,7 +247,7 @@ func (p *parser) block() *ast.Block {
 			p.accept(source.SEMICOLON)
 		}
 	}
-	p.expect(source.RBRACE)
+	b.RbracePos = p.expect(source.RBRACE)
 	return b
 }
 

@@ -1,0 +1,63 @@
+package wgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+// MutateFunctions returns a copy of the W2 source src in which the bodies of
+// k distinct functions have been edited, plus the names of the edited
+// functions in source order. The edit inserts a harmless local computation at
+// the top of each chosen body, so the program still compiles and the chosen
+// functions' incremental hashes change while every other function's stays
+// identical. Which functions are chosen, and the literals inserted, are
+// deterministic in (src, k, seed) — the same call always yields the same
+// mutated program, which is what the incremental-recompilation benchmarks
+// and tests need to be reproducible.
+func MutateFunctions(src []byte, k int, seed uint64) ([]byte, []string, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("wgen: mutate: k must be positive, got %d", k)
+	}
+	var bag source.DiagBag
+	outline := parser.ParseOutline("mutate.w2", src, &bag)
+	if outline == nil || bag.HasErrors() {
+		return nil, nil, fmt.Errorf("wgen: mutate: source does not parse: %s", bag.String())
+	}
+	funcs := outline.AllFunctions()
+	editable := make([]int, 0, len(funcs))
+	for i, f := range funcs {
+		if f.BodyStart > 0 && f.BodyStart < len(src) && src[f.BodyStart] == '{' {
+			editable = append(editable, i)
+		}
+	}
+	if k > len(editable) {
+		return nil, nil, fmt.Errorf("wgen: mutate: asked for %d edits but module has %d editable functions", k, len(editable))
+	}
+
+	// Seeded partial Fisher-Yates: the first k entries are the chosen
+	// functions, distinct by construction.
+	r := newRng(seed)
+	for i := 0; i < k; i++ {
+		j := i + r.intn(len(editable)-i)
+		editable[i], editable[j] = editable[j], editable[i]
+	}
+	chosen := append([]int(nil), editable[:k]...)
+	sort.Ints(chosen)
+
+	// Splice insertions back-to-front so earlier offsets stay valid.
+	out := append([]byte(nil), src...)
+	names := make([]string, len(chosen))
+	for i := len(chosen) - 1; i >= 0; i-- {
+		f := funcs[chosen[i]]
+		names[i] = f.Name
+		v := fmt.Sprintf("__e%x_%d", seed&0xffffff, i)
+		ins := fmt.Sprintf("\n        var %s: float = %d.5;\n        %s = %s * 0.25 + %d.125;",
+			v, 1+r.intn(9), v, v, r.intn(8))
+		at := f.BodyStart + 1 // just past the body's opening brace
+		out = append(out[:at], append([]byte(ins), out[at:]...)...)
+	}
+	return out, names, nil
+}

@@ -1,0 +1,67 @@
+package wgen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+func mutHashes(t *testing.T, src []byte) map[parser.FuncKey]parser.FuncHash {
+	t.Helper()
+	var bag source.DiagBag
+	m := parser.Parse("m.w2", src, &bag)
+	if m == nil || bag.HasErrors() {
+		t.Fatalf("parse: %s", bag.String())
+	}
+	return parser.FuncHashes(m, src)
+}
+
+// TestMutateFunctions: the mutated program still compiles, the edit is
+// deterministic in (src, k, seed), and exactly k function hashes change.
+func TestMutateFunctions(t *testing.T) {
+	src := SyntheticProgram(Small, 8)
+	for _, k := range []int{1, 3, 8} {
+		mutated, names, err := MutateFunctions(src, k, 11)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(names) != k {
+			t.Fatalf("k=%d: edited %v", k, names)
+		}
+		again, _, err := MutateFunctions(src, k, 11)
+		if err != nil || !bytes.Equal(mutated, again) {
+			t.Errorf("k=%d: mutation is not deterministic", k)
+		}
+		other, _, err := MutateFunctions(src, k, 12)
+		if err != nil || bytes.Equal(mutated, other) {
+			t.Errorf("k=%d: different seeds produced the same mutation", k)
+		}
+		if _, err := compiler.CompileModule("m.w2", mutated, compiler.Options{}); err != nil {
+			t.Fatalf("k=%d: mutated program does not compile: %v", k, err)
+		}
+
+		before, after := mutHashes(t, src), mutHashes(t, mutated)
+		changed := 0
+		for key, h := range before {
+			if h != after[key] {
+				changed++
+			}
+		}
+		if changed != k {
+			t.Errorf("k=%d: %d function hashes changed", k, changed)
+		}
+	}
+
+	if _, _, err := MutateFunctions(src, 9, 1); err == nil {
+		t.Error("k beyond the function count must error")
+	}
+	if _, _, err := MutateFunctions(src, 0, 1); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, _, err := MutateFunctions([]byte("not a module"), 1, 1); err == nil {
+		t.Error("unparseable source must error")
+	}
+}
