@@ -458,3 +458,44 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 		b.ReportMetric(float64(off.Module.TotalWords()), "words_noopt")
 	}
 }
+
+// BenchmarkPipelinedCompile measures the overlapped master against the
+// strictly phased baseline on the straggler workload (one huge function +
+// many tiny ones, wgen -kind mixed). Under the barrier master the
+// sequential head (the full frontend) and tail (link + I/O driver) extend
+// the straggler's wall time; the pipeline forks section masters on the
+// outline alone, runs the frontend concurrently with the fleet, links each
+// section as it streams in, and generates the driver during the parallel
+// region — so its wall clock approaches setup + max(frontend, compile) +
+// residual tail. Pools are uncached so every iteration is a genuine cold
+// build (a warm cache would collapse both sides to microseconds and hide
+// the head/tail being overlapped).
+func BenchmarkPipelinedCompile(b *testing.B) {
+	src := wgen.MixedProgram(12)
+	for _, mode := range []struct {
+		name  string
+		popts core.ParallelOptions
+	}{
+		{"barrier", core.ParallelOptions{Barrier: true}},
+		{"pipeline", core.ParallelOptions{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			pool := cluster.NewLocalPoolWith(4, nil)
+			b.ResetTimer()
+			var stats *core.ParallelStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, stats, err = core.ParallelCompileWith("bench.w2", src, pool, compiler.Options{}, mode.popts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stats.FrontendTime.Nanoseconds()), "frontend_ns")
+			b.ReportMetric(float64(stats.BackendTail.Nanoseconds()), "tail_ns")
+			if !mode.popts.Barrier {
+				b.ReportMetric(float64(stats.Pipeline.FrontendOverlap.Nanoseconds()), "frontend_overlap_ns")
+				b.ReportMetric(float64(stats.Pipeline.CriticalPath.Nanoseconds()), "critical_path_ns")
+			}
+		})
+	}
+}

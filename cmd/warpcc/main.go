@@ -13,6 +13,7 @@
 //	-workers host:port,.. worker addresses for -mode rpc
 //	-sched fcfs|lpt       dispatch ordering (default lpt: cost-model + batching)
 //	-batch-threshold C    estimated-cost cutoff for batching (0 disables)
+//	-barrier              strictly phased master (baseline) instead of the pipeline
 //	-call-timeout D       per-RPC deadline for -mode rpc (0 disables)
 //	-max-retries N        failover attempts per request for -mode rpc
 //	-dial-retry D         readmission probe period for quarantined workers
@@ -59,6 +60,7 @@ func main() {
 
 		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
 		batchThreshold = flag.Float64("batch-threshold", core.DefaultBatchThreshold, "estimated-cost cutoff below which functions are batched (0 disables batching)")
+		barrier        = flag.Bool("barrier", false, "use the paper's strictly phased master (frontend, fork, barrier, link) instead of the overlapped pipeline")
 
 		callTimeout = flag.Duration("call-timeout", 30*time.Second, "per-RPC deadline for -mode rpc (0 disables)")
 		maxRetries  = flag.Int("max-retries", 3, "max failover attempts per request for -mode rpc (0 disables)")
@@ -82,7 +84,7 @@ func main() {
 		DisableScheduling: *noSched,
 	}}
 
-	copts := core.ParallelOptions{BatchThreshold: *batchThreshold}
+	copts := core.ParallelOptions{BatchThreshold: *batchThreshold, Barrier: *barrier}
 	switch *schedName {
 	case "fcfs":
 		copts.Sched = core.SchedFCFS
@@ -244,6 +246,11 @@ func printParallelStats(s *core.ParallelStats) {
 		s.Workers, s.Elapsed.Round(1000), s.SetupTime.Round(1000), s.FrontendTime.Round(1000))
 	fmt.Printf("timing: dispatch %v, compile-wall %v, tail %v\n",
 		s.DispatchTime.Round(1000), s.CompileWallTime.Round(1000), s.BackendTail.Round(1000))
+	if p := s.Pipeline; p.CriticalPath > 0 {
+		fmt.Printf("pipeline: frontend-overlap %v, link %v (%v overlapped), driver %v, critical-path %v\n",
+			p.FrontendOverlap.Round(1000), p.LinkTime.Round(1000), p.LinkOverlap.Round(1000),
+			p.DriverTime.Round(1000), p.CriticalPath.Round(1000))
+	}
 	d := s.Dispatch
 	rankCorr := "" // meaningless below 3 samples (NaN): omitted entirely
 	if !math.IsNaN(d.RankCorr) {

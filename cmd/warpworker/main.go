@@ -1,6 +1,9 @@
 // Command warpworker is a compile worker ("workstation daemon"): it serves
-// function-compilation requests from warpcc -mode rpc over net/rpc, one at
-// a time, like the single-CPU SUN workstations of the measured system. It
+// function-compilation requests from warpcc -mode rpc over net/rpc. At most
+// -jobs compiles run concurrently (default: the machine's CPU count); the
+// rest queue FCFS, so a burst of batch RPCs cannot oversubscribe the host —
+// net/rpc otherwise spawns an unbounded goroutine per request. -jobs 1
+// reproduces the single-CPU SUN workstations of the measured system. It
 // keeps a per-process content-addressed artifact cache so repeated requests
 // against the same module source skip parsing, checking, and lowering, and
 // masters can send a 32-byte hash instead of the whole source.
@@ -12,7 +15,7 @@
 //
 // Usage:
 //
-//	warpworker [-addr host:port] [-cache-mb N] [-cache-dir DIR] [-grace D]
+//	warpworker [-addr host:port] [-jobs N] [-cache-mb N] [-cache-dir DIR] [-grace D]
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -28,6 +32,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent compiles; excess requests queue (1 = the paper's single-CPU workstation)")
 	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default, negative = disable caching)")
 	cacheDir := flag.String("cache-dir", "", "persistent object cache directory (survives restarts; overrides WARP_CACHE_DIR)")
 	grace := flag.Duration("grace", 10*time.Second, "drain period for in-flight compiles on SIGINT/SIGTERM")
@@ -37,12 +42,12 @@ func main() {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	srv, err := cluster.NewWorkerServerDir(*addr, cacheBytes, *cacheDir)
+	srv, err := cluster.NewWorkerServerJobs(*addr, cacheBytes, *cacheDir, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "warpworker:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("warpworker: serving compile requests on %s\n", srv.Addr())
+	fmt.Printf("warpworker: serving compile requests on %s (%d concurrent jobs)\n", srv.Addr(), *jobs)
 
 	// Serve until asked to stop, then drain.
 	sig := make(chan os.Signal, 1)

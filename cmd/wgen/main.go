@@ -7,6 +7,7 @@
 //	wgen -kind sn -size medium -n 4        # S_4 of f_medium
 //	wgen -kind sections -size small -n 3   # 3-section pipeline
 //	wgen -kind user                        # the §4.3 user program
+//	wgen -kind mixed -n 12                 # 1 huge + 12 tiny (straggler workload)
 //	wgen -small-funcs 32                   # 32 tiny functions (worst case)
 //
 // With -edit K, wgen additionally mutates K function bodies of the generated
@@ -26,9 +27,9 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "sn", "workload kind: sn, sections, or user")
+	kind := flag.String("kind", "sn", "workload kind: sn, sections, user, or mixed (1 huge + n tiny stragglers)")
 	sizeName := flag.String("size", "medium", "function size: tiny, small, medium, large, huge")
-	n := flag.Int("n", 1, "number of functions (sn) or sections (sections)")
+	n := flag.Int("n", 1, "number of functions (sn, mixed) or sections (sections)")
 	smallFuncs := flag.Int("small-funcs", 0, "emit a module of N tiny functions (the paper's worst case); overrides -kind")
 	edit := flag.Int("edit", 0, "mutate K function bodies and write an old/new source pair (-old, -new)")
 	seed := flag.Uint64("seed", 1, "mutation seed for -edit")
@@ -66,6 +67,8 @@ func main() {
 		out = wgen.MultiSectionProgram(size, *n)
 	case "user":
 		out = wgen.UserProgram()
+	case "mixed":
+		out = wgen.MixedProgram(*n)
 	default:
 		fmt.Fprintf(os.Stderr, "wgen: unknown kind %q\n", *kind)
 		os.Exit(2)

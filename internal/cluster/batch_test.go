@@ -6,6 +6,7 @@ package cluster_test
 // half and converges with word-identical output).
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -156,7 +157,7 @@ func TestBatchFatalCompileErrorNotSplit(t *testing.T) {
 	// issue the batch directly to exercise the dispatch layer's
 	// classification.
 	src := []byte("module m (out ys: float[2])\nsection 1 of 1 {\n    function f() { send(Y, 1.0); }\n    function g() { undeclared = 1; send(Y, 2.0); }\n}\n")
-	_, err = pool.CompileBatch(core.BatchRequest{
+	_, err = pool.CompileBatch(context.Background(), core.BatchRequest{
 		File:   "bad.w2",
 		Source: src,
 		Items:  []core.BatchItem{{Section: 1, Index: 0}, {Section: 1, Index: 1}},

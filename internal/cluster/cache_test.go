@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -130,7 +131,7 @@ func TestWorkerKilledMidCompile(t *testing.T) {
 
 	src := wgen.UserProgram()
 	// One request succeeds while the worker lives.
-	if _, err := pool.Compile(core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
+	if _, err := pool.Compile(context.Background(), core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
 		t.Fatalf("healthy worker failed: %v", err)
 	}
 
@@ -154,7 +155,7 @@ func TestWorkerKilledMidCompile(t *testing.T) {
 	}
 
 	// Direct requests must also fail fast now.
-	if _, err := pool.Compile(core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err == nil {
+	if _, err := pool.Compile(context.Background(), core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err == nil {
 		t.Error("pool.Compile succeeded against a dead worker")
 	}
 }

@@ -27,9 +27,11 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compiler"
@@ -73,20 +75,34 @@ func (p *LocalPool) Cache() *fcache.Cache { return p.cache }
 func (p *LocalPool) CacheStats() fcache.Stats { return p.cache.Stats() }
 
 // Compile runs the request on the next free worker, blocking until one is
-// available — exactly the FCFS placement of the paper.
-func (p *LocalPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
-	p.sem <- struct{}{}
+// available — exactly the FCFS placement of the paper. A cancelled ctx
+// abandons the wait for a worker; a compile already running completes
+// (phases 2+3 are not preemptible in-process) but its reply is discarded.
+func (p *LocalPool) Compile(ctx context.Context, req core.CompileRequest) (*core.CompileReply, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	defer func() { <-p.sem }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return core.RunFunctionMasterWith(req, p.cache)
 }
 
 // CompileBatch runs a whole dispatch unit on the next free worker: the batch
 // occupies one processor for its duration, exactly as a single function
 // would, so packing small functions costs one slot instead of N.
-func (p *LocalPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, error) {
-	p.sem <- struct{}{}
+// Cancellation stops between batch items.
+func (p *LocalPool) CompileBatch(ctx context.Context, req core.BatchRequest) ([]*core.CompileReply, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	defer func() { <-p.sem }()
-	return core.RunBatchWith(req, p.cache)
+	return core.RunBatchWith(ctx, req, p.cache)
 }
 
 // ---------------------------------------------------------------------------
@@ -99,12 +115,20 @@ type SourceBlob struct {
 	Source []byte
 }
 
-// Worker is the RPC service run by each workstation process. Each worker
-// compiles one function at a time, like a single-CPU SUN, but keeps a
-// per-process artifact cache across requests.
+// Worker is the RPC service run by each workstation process. net/rpc spawns
+// one goroutine per pending request, so without a bound a burst of batch
+// RPCs would oversubscribe the machine; the jobs semaphore admits at most
+// Jobs() compiles at a time and queues the rest (FCFS). The default of one
+// job reproduces the paper's single-CPU SUN workstations. The worker keeps
+// a per-process artifact cache across requests.
 type Worker struct {
-	mu    sync.Mutex // serializes compiles: one CPU per workstation
+	sem   chan struct{} // one slot per concurrent compile job
 	cache *fcache.Cache
+
+	// cur/peak track the number of compiles running right now and its
+	// high-water mark, observable via PeakConcurrent.
+	cur  atomic.Int64
+	peak atomic.Int64
 
 	stateMu  sync.Mutex
 	draining bool
@@ -112,14 +136,48 @@ type Worker struct {
 }
 
 // NewWorker returns a worker with a cache bounded to cacheBytes
-// (cacheBytes < 0 disables caching; 0 selects the default budget). The
-// WARP_CACHE_DIR environment variable attaches a disk-backed object tier,
-// so a restarted worker starts warm.
+// (cacheBytes < 0 disables caching; 0 selects the default budget) that runs
+// one compile at a time. The WARP_CACHE_DIR environment variable attaches a
+// disk-backed object tier, so a restarted worker starts warm.
 func NewWorker(cacheBytes int64) *Worker {
-	if cacheBytes < 0 {
-		return &Worker{}
+	return NewWorkerJobs(cacheBytes, 1)
+}
+
+// NewWorkerJobs is NewWorker with an explicit concurrent-compile bound
+// (jobs < 1 is treated as 1 — the paper's one CPU per workstation).
+func NewWorkerJobs(cacheBytes int64, jobs int) *Worker {
+	if jobs < 1 {
+		jobs = 1
 	}
-	return &Worker{cache: fcache.NewEnv(cacheBytes)}
+	w := &Worker{sem: make(chan struct{}, jobs)}
+	if cacheBytes >= 0 {
+		w.cache = fcache.NewEnv(cacheBytes)
+	}
+	return w
+}
+
+// Jobs returns the concurrent-compile bound.
+func (w *Worker) Jobs() int { return cap(w.sem) }
+
+// PeakConcurrent reports the high-water mark of simultaneously running
+// compiles — never more than Jobs(), by construction.
+func (w *Worker) PeakConcurrent() int { return int(w.peak.Load()) }
+
+// acquireSlot blocks until a compile slot is free and returns its release
+// function, maintaining the concurrency high-water mark.
+func (w *Worker) acquireSlot() func() {
+	w.sem <- struct{}{}
+	c := w.cur.Add(1)
+	for {
+		p := w.peak.Load()
+		if c <= p || w.peak.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	return func() {
+		w.cur.Add(-1)
+		<-w.sem
+	}
 }
 
 // begin registers an in-flight request, refusing once draining has started.
@@ -161,8 +219,8 @@ func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) erro
 		return codeErr(CodeUnavailable, "worker: draining, not accepting new compiles")
 	}
 	defer w.inflight.Done()
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	release := w.acquireSlot()
+	defer release()
 	if len(req.Source) == 0 {
 		src, ok := w.cache.Source(req.SourceHash)
 		if !ok {
@@ -204,8 +262,8 @@ func (w *Worker) CompileBatch(req core.BatchRequest, reply *BatchReply) error {
 		return codeErr(CodeUnavailable, "worker: draining, not accepting new compiles")
 	}
 	defer w.inflight.Done()
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	release := w.acquireSlot()
+	defer release()
 	if len(req.Source) == 0 {
 		src, ok := w.cache.Source(req.SourceHash)
 		if !ok {
@@ -221,7 +279,9 @@ func (w *Worker) CompileBatch(req core.BatchRequest, reply *BatchReply) error {
 	} else if !req.SourceHash.IsZero() {
 		w.cache.PutSource(req.SourceHash, req.Source)
 	}
-	rs, err := core.RunBatchWith(req, w.cache)
+	// net/rpc carries no context; the pool cancels by severing the
+	// connection instead.
+	rs, err := core.RunBatchWith(context.Background(), req, w.cache)
 	if err != nil {
 		return codeErr(CodeCompile, "%v", err)
 	}
@@ -341,7 +401,15 @@ func NewWorkerServer(addr string, cacheBytes int64) (*WorkerServer, error) {
 // means no disk tier beyond the environment's). Several workers may share
 // one directory — entries are content-addressed and deterministic.
 func NewWorkerServerDir(addr string, cacheBytes int64, dir string) (*WorkerServer, error) {
-	w := NewWorker(cacheBytes)
+	return NewWorkerServerJobs(addr, cacheBytes, dir, 1)
+}
+
+// NewWorkerServerJobs is NewWorkerServerDir with an explicit concurrent-
+// compile bound: up to jobs compiles run simultaneously, the rest queue
+// (jobs < 1 is treated as 1). cmd/warpworker exposes it as -jobs, defaulting
+// to the machine's CPU count.
+func NewWorkerServerJobs(addr string, cacheBytes int64, dir string, jobs int) (*WorkerServer, error) {
+	w := NewWorkerJobs(cacheBytes, jobs)
 	if dir != "" {
 		if w.cache == nil {
 			return nil, codeErr(CodeCacheDisabled, "worker: -cache-dir requires caching enabled")
@@ -381,6 +449,9 @@ func serveWorker(addr string, w *Worker) (*WorkerServer, error) {
 
 // Addr returns the bound listen address.
 func (s *WorkerServer) Addr() string { return s.addr }
+
+// Worker exposes the served worker (for inspecting concurrency counters).
+func (s *WorkerServer) Worker() *Worker { return s.worker }
 
 // Close stops accepting and severs every live connection immediately — the
 // workstation-crash behavior used by fault tests.

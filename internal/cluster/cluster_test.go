@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -86,7 +87,7 @@ func TestRPCCompileErrorPropagates(t *testing.T) {
 	defer pool.Close()
 
 	// A request with a bad section index must yield a remote error.
-	_, err = pool.Compile(core.CompileRequest{
+	_, err = pool.Compile(context.Background(), core.CompileRequest{
 		File: "m.w2", Source: wgen.SyntheticProgram(wgen.Tiny, 1), Section: 9, Index: 0,
 	})
 	if err == nil || !strings.Contains(err.Error(), "no section 9") {

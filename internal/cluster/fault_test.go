@@ -7,6 +7,7 @@ package cluster_test
 // on purpose rather than by timing luck.
 
 import (
+	"context"
 	"net"
 	"net/rpc"
 	"strings"
@@ -190,13 +191,13 @@ func TestQuarantineAndReadmission(t *testing.T) {
 	defer pool.Close()
 
 	src := wgen.UserProgram()
-	if _, err := pool.Compile(core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
+	if _, err := pool.Compile(context.Background(), core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
 		t.Fatalf("healthy worker failed: %v", err)
 	}
 
 	ln.Close()
 	// The next compile quarantines the worker and falls back locally.
-	if _, err := pool.Compile(core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
+	if _, err := pool.Compile(context.Background(), core.CompileRequest{File: "user.w2", Source: src, Section: 1, Index: 0}); err != nil {
 		t.Fatalf("fallback compile failed: %v", err)
 	}
 	if f := pool.FaultStats(); f.Quarantines < 1 || f.LocalFallbacks < 1 {
@@ -314,7 +315,7 @@ func TestFatalCompileErrorNotRetried(t *testing.T) {
 	}
 	defer pool.Close()
 
-	_, err = pool.Compile(core.CompileRequest{
+	_, err = pool.Compile(context.Background(), core.CompileRequest{
 		File: "m.w2", Source: wgen.SyntheticProgram(wgen.Tiny, 1), Section: 9, Index: 0,
 	})
 	if err == nil || !strings.Contains(err.Error(), "no section 9") {

@@ -1,0 +1,179 @@
+package cluster_test
+
+// Pipeline tests over real RPC workers: the overlapped master's output must
+// match the sequential compiler and the barrier baseline, a chaos-injected
+// hang in one section must cancel its siblings promptly (no waiting out the
+// barrier, no goroutine leak), and a caller cancelling mid-stream must sever
+// the in-flight RPC and leave the pool healthy for the retry.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/wgen"
+)
+
+// TestPipelinedRPCMatchesSequential drives the straggler workload through
+// real RPC workers under both masters: pipeline ≡ barrier ≡ sequential.
+func TestPipelinedRPCMatchesSequential(t *testing.T) {
+	noAmbientDiskCache(t)
+	src := wgen.MixedProgram(8)
+	seq, err := compiler.CompileModule("mixed.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, serr := cluster.NewWorkerServer("127.0.0.1:0", 0)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	pool, err := cluster.DialPoolWith(addrs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	for _, popts := range []core.ParallelOptions{{}, {Barrier: true}} {
+		par, stats, err := core.ParallelCompileWith("mixed.w2", src, pool, compiler.Options{}, popts)
+		if err != nil {
+			t.Fatalf("parallel (barrier=%v): %v", popts.Barrier, err)
+		}
+		if verr := core.VerifySameOutput(seq.Module, par.Module); verr != nil {
+			t.Errorf("output differs from sequential (barrier=%v): %v", popts.Barrier, verr)
+		}
+		if !popts.Barrier && stats.Pipeline.CriticalPath <= 0 {
+			t.Errorf("pipeline stats not populated: %+v", stats.Pipeline)
+		}
+		if popts.Barrier && stats.Pipeline != (core.PipelineStats{}) {
+			t.Errorf("barrier run reported pipeline overlap: %+v", stats.Pipeline)
+		}
+	}
+}
+
+// TestHangCancelsSiblingSections injects an open-ended hang into the first
+// compile RPC of a multi-section build with failover disabled: the hung
+// section's deadline error must cancel its sibling sections promptly —
+// the master returns long before the hang would release — without leaking
+// goroutines, and a retry against the recovered server compiles
+// word-identical to sequential.
+func TestHangCancelsSiblingSections(t *testing.T) {
+	noAmbientDiskCache(t)
+	base := runtime.NumGoroutine()
+	src := wgen.MultiSectionProgram(wgen.Small, 3)
+
+	// One scripted hang (until server close ≈ an hour), then pass-through.
+	srv, addr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(chaos.Fault{Kind: chaos.Hang}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	opts := fastOpts()
+	opts.CallTimeout = 500 * time.Millisecond // expire the hang fast
+	opts.MaxRetries = -1                      // no failover: the deadline is fatal
+	opts.DisableFallback = true               // and no local rescue either
+	pool, err := cluster.DialPoolWith([]string{addr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, _, cerr := core.ParallelCompile("m.w2", src, pool, compiler.Options{})
+	elapsed := time.Since(start)
+	if cerr == nil {
+		t.Fatal("compile with a hung section succeeded")
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("master waited %v — siblings were not cancelled promptly", elapsed)
+	}
+	if !strings.Contains(cerr.Error(), "section ") {
+		t.Errorf("error lost its section attribution: %v", cerr)
+	}
+	// The surviving error must be the hang's fatal dispatch failure, not a
+	// cancellation echo from a severed sibling.
+	if errors.Is(cerr, context.Canceled) {
+		t.Errorf("cancellation echo masked the real error: %v", cerr)
+	}
+	pool.Close()
+
+	// No goroutine leak: severed section masters and dispatchers drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines leaked after cancellation: %d now vs %d before", n, base)
+	}
+
+	// Retry on a fresh pool: the script is exhausted, so the same server now
+	// passes everything through — and the result is word-identical.
+	pool2, err := cluster.DialPoolWith([]string{addr}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	compileBoth(t, "m.w2", src, pool2)
+}
+
+// TestMidStreamCancellationRPC cancels the caller's context while the
+// straggler function hangs in flight on a real RPC worker: the master must
+// return the cancellation promptly (severing the in-flight call instead of
+// waiting out the hang), and the same pool must serve a clean, word-
+// identical retry afterwards.
+func TestMidStreamCancellationRPC(t *testing.T) {
+	noAmbientDiskCache(t)
+	src := wgen.MixedProgram(4)
+
+	// First call hangs until the server closes; everything after passes.
+	srv, addr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(chaos.Fault{Kind: chaos.Hang}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool, err := cluster.DialPoolWith([]string{addr}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, cerr := core.ParallelCompileContext(ctx, "mixed.w2", src, pool, compiler.Options{},
+			core.ParallelOptions{})
+		done <- cerr
+	}()
+	// Give the first request time to reach the worker and lodge in the hang,
+	// then cancel the whole compilation.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case cerr := <-done:
+		if cerr == nil {
+			t.Fatal("cancelled compile reported success")
+		}
+		if !errors.Is(cerr, context.Canceled) {
+			t.Fatalf("cancellation masked: %v", cerr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not sever the in-flight RPC")
+	}
+
+	// The pool recycled the severed worker: the retry on the very same pool
+	// passes through (script exhausted) and matches sequential.
+	compileBoth(t, "mixed.w2", src, pool)
+}

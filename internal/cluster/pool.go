@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -247,7 +248,7 @@ func (p *RPCPool) dialWorker(addr string) (*rpc.Client, error) {
 	}
 	c := rpc.NewClient(conn)
 	var ok bool
-	if err := callTimeout(c, "Worker.Ping", struct{}{}, &ok, p.opts.CallTimeout); err != nil || !ok {
+	if err := callTimeout(context.Background(), c, "Worker.Ping", struct{}{}, &ok, p.opts.CallTimeout); err != nil || !ok {
 		c.Close()
 		return nil, fmt.Errorf("cluster: worker %s not responding: %v", addr, err)
 	}
@@ -273,33 +274,41 @@ func (p *RPCPool) FaultStats() core.FaultStats {
 	return s
 }
 
-// callTimeout issues one RPC with a deadline. On expiry the client is
-// closed: net/rpc has no cancellation, so severing the transport is the
-// only way to guarantee the abandoned handler can't complete the call
-// later. ErrDeadline is wrapped for errors.Is classification.
-func callTimeout(c *rpc.Client, method string, args, reply any, d time.Duration) error {
-	if d < 0 {
+// callTimeout issues one RPC with a deadline, abandoned early if ctx is
+// cancelled. On expiry or cancellation the client is closed: net/rpc has no
+// cancellation, so severing the transport is the only way to guarantee the
+// abandoned handler can't complete the call later. ErrDeadline is wrapped
+// for errors.Is classification; cancellation returns ctx.Err().
+func callTimeout(ctx context.Context, c *rpc.Client, method string, args, reply any, d time.Duration) error {
+	if d < 0 && ctx.Done() == nil {
 		return c.Call(method, args, reply)
 	}
 	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
-	t := time.NewTimer(d)
-	defer t.Stop()
+	var expiry <-chan time.Time
+	if d >= 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		expiry = t.C
+	}
 	select {
 	case <-call.Done:
 		return call.Error
-	case <-t.C:
+	case <-expiry:
 		c.Close()
 		return fmt.Errorf("%w: %s after %v", ErrDeadline, method, d)
+	case <-ctx.Done():
+		c.Close()
+		return ctx.Err()
 	}
 }
 
 // call issues one RPC on w with the pool's deadline, counting deadline hits.
-func (p *RPCPool) call(w *poolWorker, method string, args, reply any) error {
+func (p *RPCPool) call(ctx context.Context, w *poolWorker, method string, args, reply any) error {
 	c := w.getClient()
 	if c == nil {
 		return rpc.ErrShutdown
 	}
-	err := callTimeout(c, method, args, reply, p.opts.CallTimeout)
+	err := callTimeout(ctx, c, method, args, reply, p.opts.CallTimeout)
 	if errors.Is(err, ErrDeadline) {
 		p.mu.Lock()
 		p.stats.DeadlineHits++
@@ -313,18 +322,23 @@ func (p *RPCPool) call(w *poolWorker, method string, args, reply any) error {
 // options), so replaying it elsewhere is safe. When every worker is
 // quarantined (or retries are exhausted) the pool compiles in-process so
 // the compilation completes anyway, mirroring how the paper's pmake fell
-// back to plain make when the network was sick.
-func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
+// back to plain make when the network was sick. A cancelled ctx severs the
+// in-flight RPC (net/rpc has no cancellation: the transport is closed) and
+// returns ctx.Err() immediately — no retry, no fallback.
+func (p *RPCPool) Compile(ctx context.Context, req core.CompileRequest) (*core.CompileReply, error) {
 	if req.SourceHash.IsZero() && len(req.Source) > 0 {
 		req.SourceHash = fcache.HashSource(req.Source)
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		w := p.acquire()
+		w := p.acquire(ctx)
 		if w == nil {
-			return p.fallback(req, lastErr)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return p.fallback(ctx, req, lastErr)
 		}
-		reply, err := p.compileOn(w, req)
+		reply, err := p.compileOn(ctx, w, req)
 		if err == nil {
 			p.release(w)
 			if attempt > 0 {
@@ -333,6 +347,12 @@ func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
 				p.mu.Unlock()
 			}
 			return reply, nil
+		}
+		if ctx.Err() != nil {
+			// The master cancelled mid-call: the severed transport is not
+			// the worker's fault, so recycle it instead of penalizing.
+			p.recycle(w)
+			return nil, ctx.Err()
 		}
 		if !transient(err) {
 			// The worker answered deterministically (compile error, bad
@@ -343,26 +363,27 @@ func (p *RPCPool) Compile(req core.CompileRequest) (*core.CompileReply, error) {
 		lastErr = err
 		p.penalize(w, err)
 		if attempt >= p.opts.MaxRetries {
-			return p.fallback(req, lastErr)
+			return p.fallback(ctx, req, lastErr)
 		}
 		p.mu.Lock()
 		p.stats.Retries++
 		p.mu.Unlock()
-		p.sleepBackoff(attempt + 1)
+		p.sleepBackoff(ctx, attempt+1)
 	}
 }
 
 // acquire returns the next free worker, or nil when every worker is
 // quarantined (no recovery is coming except through the readmission probe,
-// which re-fills the free channel and flips the healthy counter).
-func (p *RPCPool) acquire() *poolWorker {
+// which re-fills the free channel and flips the healthy counter) — or when
+// ctx is cancelled while waiting.
+func (p *RPCPool) acquire(ctx context.Context) *poolWorker {
 	for {
 		select {
 		case w := <-p.free:
 			return w
 		default:
 		}
-		if p.Healthy() == 0 {
+		if p.Healthy() == 0 || ctx.Err() != nil {
 			return nil
 		}
 		select {
@@ -370,11 +391,32 @@ func (p *RPCPool) acquire() *poolWorker {
 			return w
 		case <-p.closed:
 			return nil
+		case <-ctx.Done():
+			return nil
 		case <-time.After(5 * time.Millisecond):
 			// Re-check: a checked-out worker may have been quarantined
 			// while we waited, leaving nothing to wait for.
 		}
 	}
+}
+
+// recycle returns a worker whose transport the master itself severed
+// (cancellation). No failure is counted against it: the connection is
+// re-dialed and the worker rejoins the rotation, or — if unreachable right
+// now — is parked in quarantine for the readmission probe to pick up.
+func (p *RPCPool) recycle(w *poolWorker) {
+	w.mu.Lock()
+	if w.client != nil {
+		w.client.Close()
+		w.client = nil
+	}
+	w.mu.Unlock()
+	if c, err := p.dialWorker(w.addr); err == nil {
+		w.setClient(c)
+		p.free <- w
+		return
+	}
+	p.quarantine(w, fmt.Errorf("re-dial after cancellation failed"))
 }
 
 // release returns a worker that served successfully to the free ring.
@@ -469,8 +511,8 @@ func (p *RPCPool) readmitLoop() {
 }
 
 // sleepBackoff waits before retry n (1-based): capped exponential, half
-// fixed and half seeded jitter, interruptible by Close.
-func (p *RPCPool) sleepBackoff(n int) {
+// fixed and half seeded jitter, interruptible by Close or ctx.
+func (p *RPCPool) sleepBackoff(ctx context.Context, n int) {
 	d := p.opts.RetryBase << uint(n-1)
 	if d > p.opts.RetryMax || d <= 0 {
 		d = p.opts.RetryMax
@@ -483,13 +525,17 @@ func (p *RPCPool) sleepBackoff(n int) {
 	select {
 	case <-t.C:
 	case <-p.closed:
+	case <-ctx.Done():
 	}
 }
 
 // fallback compiles the request in-process — the graceful-degradation tail
 // when no remote worker is available. All fallbacks share one cache so a
 // whole module falling back parses once, like a LocalPool.
-func (p *RPCPool) fallback(req core.CompileRequest, cause error) (*core.CompileReply, error) {
+func (p *RPCPool) fallback(ctx context.Context, req core.CompileRequest, cause error) (*core.CompileReply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.opts.DisableFallback {
 		if cause != nil {
 			return nil, fmt.Errorf("cluster: no workers available (local fallback disabled): %w", cause)
@@ -516,7 +562,7 @@ func (p *RPCPool) fallback(req core.CompileRequest, cause error) (*core.CompileR
 // later request carries only the content hash — the paper's workstations
 // likewise fetched the source from the shared file server rather than
 // receiving it in each message.
-func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.CompileReply, error) {
+func (p *RPCPool) compileOn(ctx context.Context, w *poolWorker, req core.CompileRequest) (*core.CompileReply, error) {
 	src := req.Source
 	h := req.SourceHash
 
@@ -529,7 +575,7 @@ func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.Compi
 		send := req
 		send.Source = nil
 		var reply core.CompileReply
-		switch err := p.call(w, "Worker.Compile", send, &reply); {
+		switch err := p.call(ctx, w, "Worker.Compile", send, &reply); {
 		case err == nil:
 			atomic.AddInt64(&p.bytesSaved, int64(len(src)))
 			return &reply, nil
@@ -544,7 +590,7 @@ func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.Compi
 		if w.knows(h) {
 			lean, saved = true, true
 		} else {
-			switch err := p.push(w, h, src); {
+			switch err := p.push(ctx, w, h, src); {
 			case err == nil:
 				lean = true
 			case IsCacheDisabled(err):
@@ -560,16 +606,16 @@ func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.Compi
 		send.Source = nil
 	}
 	var reply core.CompileReply
-	err := p.call(w, "Worker.Compile", send, &reply)
+	err := p.call(ctx, w, "Worker.Compile", send, &reply)
 	if lean && IsMissingSource(err) {
 		// The worker evicted the source between our push and its lookup:
 		// re-push and retry once with the full source for good measure.
 		saved = false
-		if perr := p.push(w, h, src); perr != nil && !IsCacheDisabled(perr) {
+		if perr := p.push(ctx, w, h, src); perr != nil && !IsCacheDisabled(perr) {
 			return nil, perr
 		}
 		reply = core.CompileReply{}
-		err = p.call(w, "Worker.Compile", req, &reply)
+		err = p.call(ctx, w, "Worker.Compile", req, &reply)
 	}
 	if err != nil {
 		return nil, err
@@ -587,7 +633,7 @@ func (p *RPCPool) compileOn(w *poolWorker, req core.CompileRequest) (*core.Compi
 // retry/backoff/fallback path. A deterministic answer (compile error, bad
 // request) fails the batch without any retry — every worker would answer
 // the same, and replaying a poisoned batch would just spread it.
-func (p *RPCPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, error) {
+func (p *RPCPool) CompileBatch(ctx context.Context, req core.BatchRequest) ([]*core.CompileReply, error) {
 	if req.SourceHash.IsZero() && len(req.Source) > 0 {
 		req.SourceHash = fcache.HashSource(req.Source)
 	}
@@ -595,7 +641,7 @@ func (p *RPCPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, err
 		return nil, nil
 	}
 	if len(req.Items) == 1 {
-		r, err := p.Compile(core.CompileRequest{
+		r, err := p.Compile(ctx, core.CompileRequest{
 			File:       req.File,
 			Source:     req.Source,
 			SourceHash: req.SourceHash,
@@ -609,29 +655,36 @@ func (p *RPCPool) CompileBatch(req core.BatchRequest) ([]*core.CompileReply, err
 		}
 		return []*core.CompileReply{r}, nil
 	}
-	w := p.acquire()
+	w := p.acquire(ctx)
 	if w == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// No worker in rotation: decompose so each function takes Compile's
 		// fallback path (shared in-process cache, one warning per function).
-		return p.splitBatch(req, nil)
+		return p.splitBatch(ctx, req, nil)
 	}
-	replies, err := p.batchOn(w, req)
+	replies, err := p.batchOn(ctx, w, req)
 	if err == nil {
 		p.release(w)
 		return replies, nil
+	}
+	if ctx.Err() != nil {
+		p.recycle(w)
+		return nil, ctx.Err()
 	}
 	if !transient(err) {
 		p.release(w)
 		return nil, err
 	}
 	p.penalize(w, err)
-	return p.splitBatch(req, err)
+	return p.splitBatch(ctx, req, err)
 }
 
 // splitBatch is the batch-failover step: halve the unit and retry both
 // halves concurrently on whatever workers remain. Recursion bottoms out at
 // singletons, which delegate to Compile.
-func (p *RPCPool) splitBatch(req core.BatchRequest, cause error) ([]*core.CompileReply, error) {
+func (p *RPCPool) splitBatch(ctx context.Context, req core.BatchRequest, cause error) ([]*core.CompileReply, error) {
 	p.mu.Lock()
 	p.stats.BatchSplits++
 	p.stats.Retries++
@@ -655,9 +708,9 @@ func (p *RPCPool) splitBatch(req core.BatchRequest, cause error) ([]*core.Compil
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		leftReplies, leftErr = p.CompileBatch(left)
+		leftReplies, leftErr = p.CompileBatch(ctx, left)
 	}()
-	rightReplies, rightErr := p.CompileBatch(right)
+	rightReplies, rightErr := p.CompileBatch(ctx, right)
 	wg.Wait()
 	if leftErr != nil {
 		return nil, leftErr
@@ -676,7 +729,7 @@ func (p *RPCPool) splitBatch(req core.BatchRequest, cause error) ([]*core.Compil
 // module), send hash-only whenever possible, re-push once on a missing-
 // source answer. A reply-count skew is returned as a plain (transport-
 // class) error so the caller's split-retry heals it.
-func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.CompileReply, error) {
+func (p *RPCPool) batchOn(ctx context.Context, w *poolWorker, req core.BatchRequest) ([]*core.CompileReply, error) {
 	src := req.Source
 	h := req.SourceHash
 
@@ -694,7 +747,7 @@ func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.Compile
 		send := req
 		send.Source = nil
 		var reply BatchReply
-		switch err := p.call(w, "Worker.CompileBatch", send, &reply); {
+		switch err := p.call(ctx, w, "Worker.CompileBatch", send, &reply); {
 		case err == nil:
 			if len(reply.Replies) != len(req.Items) {
 				return nil, fmt.Errorf("cluster: batch skew from %s: %d replies for %d items",
@@ -716,7 +769,7 @@ func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.Compile
 		if w.knows(h) {
 			lean, saved = true, true
 		} else {
-			switch err := p.push(w, h, src); {
+			switch err := p.push(ctx, w, h, src); {
 			case err == nil:
 				lean = true
 			case IsCacheDisabled(err):
@@ -732,14 +785,14 @@ func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.Compile
 		send.Source = nil
 	}
 	var reply BatchReply
-	err := p.call(w, "Worker.CompileBatch", send, &reply)
+	err := p.call(ctx, w, "Worker.CompileBatch", send, &reply)
 	if lean && IsMissingSource(err) {
 		saved = false
-		if perr := p.push(w, h, src); perr != nil && !IsCacheDisabled(perr) {
+		if perr := p.push(ctx, w, h, src); perr != nil && !IsCacheDisabled(perr) {
 			return nil, perr
 		}
 		reply = BatchReply{}
-		err = p.call(w, "Worker.CompileBatch", req, &reply)
+		err = p.call(ctx, w, "Worker.CompileBatch", req, &reply)
 	}
 	if err != nil {
 		return nil, err
@@ -760,9 +813,9 @@ func (p *RPCPool) batchOn(w *poolWorker, req core.BatchRequest) ([]*core.Compile
 
 // push installs the source on worker w and records that it holds it. Each
 // push is counted: a fully warm incremental run issues zero.
-func (p *RPCPool) push(w *poolWorker, h fcache.SourceHash, src []byte) error {
+func (p *RPCPool) push(ctx context.Context, w *poolWorker, h fcache.SourceHash, src []byte) error {
 	var ok bool
-	if err := p.call(w, "Worker.StoreSource", SourceBlob{Hash: h, Source: src}, &ok); err != nil {
+	if err := p.call(ctx, w, "Worker.StoreSource", SourceBlob{Hash: h, Source: src}, &ok); err != nil {
 		return err
 	}
 	atomic.AddInt64(&p.pushes, 1)
@@ -785,7 +838,7 @@ func (p *RPCPool) CacheStats() fcache.Stats {
 			continue
 		}
 		var ws fcache.Stats
-		if err := callTimeout(c, "Worker.CacheStats", struct{}{}, &ws, p.opts.CallTimeout); err == nil {
+		if err := callTimeout(context.Background(), c, "Worker.CacheStats", struct{}{}, &ws, p.opts.CallTimeout); err == nil {
 			s.Add(ws)
 		}
 	}

@@ -1,10 +1,11 @@
 // Package core implements the parallel compiler: the three-level process
 // hierarchy of the paper mapped onto Go's concurrency primitives.
 //
-//	master          (one)           parses the module once to learn its
-//	                                structure, aborts on any front-end
-//	                                error, forks the section masters, and
-//	                                runs the sequential phase-4 tail.
+//	master          (one)           parses the module's structure, forks
+//	                                the section masters speculatively while
+//	                                its own frontend races them, links each
+//	                                section as it streams in, and cancels
+//	                                the fleet on the first fatal error.
 //	section masters (one/section)   plan dispatch units from the structural
 //	                                outline (large functions first, small
 //	                                ones batched), fork one dispatcher per
@@ -20,12 +21,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/ast"
 	"repro/internal/compiler"
 	"repro/internal/fcache"
 	"repro/internal/iodriver"
@@ -96,16 +99,20 @@ type BatchRequest struct {
 
 // BatchBackend is implemented by backends that can run a multi-function
 // dispatch unit in one request. Replies are returned aligned with
-// req.Items: reply i answers item i.
+// req.Items: reply i answers item i. Cancelling ctx abandons the batch;
+// partially completed work is discarded.
 type BatchBackend interface {
-	CompileBatch(req BatchRequest) ([]*CompileReply, error)
+	CompileBatch(ctx context.Context, req BatchRequest) ([]*CompileReply, error)
 }
 
 // Backend runs compile requests on some processor. Implementations must be
 // safe for concurrent use; Compile blocks until a processor is free
-// (first-come-first-served, as in the paper).
+// (first-come-first-served, as in the paper). Cancelling ctx severs the
+// request — including any in-flight RPC — and returns ctx.Err() (possibly
+// wrapped): the master uses this to stop the whole fleet the moment one
+// section fails, instead of waiting out the barrier.
 type Backend interface {
-	Compile(req CompileRequest) (*CompileReply, error)
+	Compile(ctx context.Context, req CompileRequest) (*CompileReply, error)
 	// Workers returns the number of processors behind the backend.
 	Workers() int
 }
@@ -231,10 +238,15 @@ func RunFunctionMasterWith(req CompileRequest, cache *fcache.Cache) (*CompileRep
 // RunBatchWith executes every item of a batch request in the current
 // process, sequentially — one worker serving a whole dispatch unit. Replies
 // align with req.Items. The frontend runs (or is fetched from cache) once
-// for the whole batch, so even uncached workers amortize phase 1.
-func RunBatchWith(req BatchRequest, cache *fcache.Cache) ([]*CompileReply, error) {
+// for the whole batch, so even uncached workers amortize phase 1. A
+// cancelled ctx stops between items; the item already running completes
+// (phases 2+3 are not preemptible in-process).
+func RunBatchWith(ctx context.Context, req BatchRequest, cache *fcache.Cache) ([]*CompileReply, error) {
 	replies := make([]*CompileReply, len(req.Items))
 	for i, it := range req.Items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := RunFunctionMasterWith(CompileRequest{
 			File:       req.File,
 			Source:     req.Source,
@@ -321,6 +333,12 @@ type ParallelOptions struct {
 	// DefaultBatchThreshold, negative disables batching (one request per
 	// function). Ignored under SchedFCFS, which never batches.
 	BatchThreshold float64
+	// Barrier selects the paper's strictly phased master: the full frontend
+	// runs before any section master is forked, sections are linked only
+	// after the last one finishes, and the I/O driver is generated in the
+	// sequential tail. It exists as the measured baseline for the overlapped
+	// pipeline (the default) and produces byte-identical output.
+	Barrier bool
 }
 
 // normalized resolves the zero-value defaults.
@@ -376,6 +394,29 @@ type DispatchStats struct {
 	RecompileRatio  float64
 }
 
+// PipelineStats records how much of the master's sequential head and tail
+// the overlapped pipeline hid inside the parallel region. All fields are
+// zero under ParallelOptions.Barrier.
+type PipelineStats struct {
+	// FrontendOverlap is how much of the master's frontend ran concurrently
+	// with section compilation (min of FrontendTime and CompileWallTime):
+	// the paper's "sequential head" that speculative dispatch removed from
+	// the critical path.
+	FrontendOverlap time.Duration
+	// LinkTime is the total spent linking section images; LinkOverlap is the
+	// portion spent while at least one section was still compiling — the
+	// barrier wait the streaming tail eliminated.
+	LinkTime    time.Duration
+	LinkOverlap time.Duration
+	// DriverTime is the I/O-driver generation time, which now runs
+	// concurrently with section compilation.
+	DriverTime time.Duration
+	// CriticalPath is the pipeline's structural lower bound:
+	// SetupTime + max(FrontendTime, CompileWallTime) + BackendTail.
+	// Elapsed can only exceed it by scheduling noise.
+	CriticalPath time.Duration
+}
+
 // ParallelStats records the timing decomposition of one parallel
 // compilation (elapsed/user time, per-level CPU, per-function times).
 type ParallelStats struct {
@@ -399,6 +440,9 @@ type ParallelStats struct {
 	Warnings int
 	// Dispatch summarizes scheduling decisions and estimator accuracy.
 	Dispatch DispatchStats
+	// Pipeline reports the overlap won by the pipelined master (all zero
+	// under ParallelOptions.Barrier).
+	Pipeline PipelineStats
 	// Cache reports the backend's artifact-cache counters (cumulative over
 	// the backend's lifetime, not just this compilation); zero when the
 	// backend is uncached.
@@ -428,6 +472,45 @@ func ParallelCompile(file string, src []byte, backend Backend, opts compiler.Opt
 // ParallelCompileWith runs the full parallel compiler with an explicit
 // dispatch policy.
 func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler.Options, popts ParallelOptions) (*compiler.Result, *ParallelStats, error) {
+	return ParallelCompileContext(context.Background(), file, src, backend, opts, popts)
+}
+
+// frontendVerdict is the master's own phase-1 leg, delivered to the combine
+// loop when it finishes racing the speculatively dispatched sections.
+type frontendVerdict struct {
+	m    *ast.Module
+	bag  *source.DiagBag
+	time time.Duration
+}
+
+// sectionDone is one section master's outcome, streamed to the combine loop
+// as it completes (pos indexes outline.Sections).
+type sectionDone struct {
+	pos int
+	res *SectionResult
+	err error
+}
+
+// ParallelCompileContext runs the full parallel compiler as an overlapped
+// pipeline rather than the paper's four sequential steps:
+//
+//   - Speculative dispatch: section masters fork the moment the structural
+//     parse succeeds, while the master's full frontend runs concurrently.
+//     Function masters re-derive phase 1 themselves, so they reach the same
+//     verdict on the same source; if the frontend finds semantic errors the
+//     master cancels the fleet and reports diagnostics word-identical to
+//     the phased master's.
+//   - Streaming tail: section results are linked the moment they arrive
+//     (link.Builder), so linking overlaps the slowest section instead of
+//     waiting behind a barrier, and the I/O driver — which depends only on
+//     the frontend module — is generated concurrently too.
+//   - End-to-end cancellation: ctx is threaded through every backend call;
+//     the first fatal error (or the caller cancelling ctx) severs in-flight
+//     RPCs instead of waiting out the stragglers.
+//
+// Output is byte-identical to the sequential compiler and to the barrier
+// baseline (ParallelOptions.Barrier).
+func ParallelCompileContext(ctx context.Context, file string, src []byte, backend Backend, opts compiler.Options, popts ParallelOptions) (*compiler.Result, *ParallelStats, error) {
 	start := time.Now()
 	popts = popts.normalized()
 	stats := &ParallelStats{
@@ -441,7 +524,9 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 	}
 
 	// Master, step 1: the extra structural parse that drives partitioning
-	// ("setup time" in the paper's overhead accounting).
+	// ("setup time" in the paper's overhead accounting). This is the only
+	// part of the head that cannot overlap anything: every leg needs the
+	// outline.
 	t0 := time.Now()
 	var outlineBag source.DiagBag
 	outline := parser.ParseOutline(file, src, &outlineBag)
@@ -458,44 +543,148 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 		masterCache = cp.Cache()
 	}
 
-	// Master, step 2: phase 1 proper. All syntax and semantic errors are
-	// discovered here and abort the compilation before any fork. When the
-	// backend shares a cache with this process, this run also warms the
-	// frontend tier for every function master.
-	t1 := time.Now()
-	m, _, bag := compiler.FrontendCached(masterCache, srcHash, file, src)
-	stats.FrontendTime = time.Since(t1)
-	if bag.HasErrors() {
-		return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", bag.String())
+	// The pipeline context: the first fatal error — or the caller's own
+	// cancellation — severs every other in-flight leg through it.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	feCh := make(chan frontendVerdict, 1)
+	runFrontend := func() {
+		t := time.Now()
+		m, _, bag := compiler.FrontendCached(masterCache, srcHash, file, src)
+		feCh <- frontendVerdict{m: m, bag: bag, time: time.Since(t)}
+	}
+	secCh := make(chan sectionDone, len(outline.Sections))
+	regionStart := time.Now()
+	forkSections := func() {
+		regionStart = time.Now()
+		for i, so := range outline.Sections {
+			go func(i int, so parser.SectionOutline) {
+				r, err := runSectionMaster(ctx, file, src, srcHash, so, backend, masterCache, opts, popts)
+				secCh <- sectionDone{pos: i, res: r, err: err}
+			}(i, so)
+		}
+	}
+	type driverDone struct {
+		drv  *iodriver.Driver
+		time time.Duration
+	}
+	drvCh := make(chan driverDone, 1)
+
+	var (
+		m      *ast.Module
+		bag    *source.DiagBag
+		feDone bool
+	)
+	if popts.Barrier {
+		// The paper's strictly phased master, kept as the measured baseline:
+		// phase 1 completes — discovering all syntax and semantic errors —
+		// before anything is forked.
+		runFrontend()
+		fe := <-feCh
+		stats.FrontendTime = fe.time
+		if fe.bag.HasErrors() {
+			return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", fe.bag.String())
+		}
+		m, bag, feDone = fe.m, fe.bag, true
+		forkSections()
+	} else {
+		// Speculative dispatch: the outline alone is enough to plan and fork
+		// section masters, so the master's frontend runs concurrently with
+		// the fleet instead of ahead of it.
+		go runFrontend()
+		forkSections()
 	}
 
-	// Master, step 3: fork one section master per section and wait. The
-	// wall-clock span of this region is the parallel compile time proper.
-	t2 := time.Now()
-	results := make([]*SectionResult, len(outline.Sections))
-	errs := make([]error, len(outline.Sections))
-	var wg sync.WaitGroup
-	for i, so := range outline.Sections {
-		wg.Add(1)
-		go func(i int, so parser.SectionOutline) {
-			defer wg.Done()
-			results[i], errs[i] = runSectionMaster(file, src, srcHash, so, backend, masterCache, opts, popts)
-		}(i, so)
+	// The combine loop: consume legs as they complete. Each section is
+	// linked the moment it arrives; the frontend verdict gates success and
+	// releases the I/O-driver leg.
+	builder := link.NewBuilder(outline.Module)
+	secResults := make([]*SectionResult, len(outline.Sections))
+	secErrs := make([]error, len(outline.Sections))
+	remaining := len(outline.Sections)
+	for remaining > 0 || !feDone {
+		select {
+		case fe := <-feCh:
+			feDone = true
+			stats.FrontendTime = fe.time
+			if fe.bag.HasErrors() {
+				// Speculative dispatch lost its bet: sever the in-flight
+				// compiles, drain the fleet, and report the diagnostics
+				// exactly as the phased master would. The sections' own
+				// errors are echoes of the same source, so the frontend
+				// verdict takes precedence.
+				cancel()
+				for remaining > 0 {
+					<-secCh
+					remaining--
+				}
+				return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", fe.bag.String())
+			}
+			m, bag = fe.m, fe.bag
+			go func() {
+				t := time.Now()
+				d := iodriver.Generate(fe.m)
+				drvCh <- driverDone{drv: d, time: time.Since(t)}
+			}()
+		case d := <-secCh:
+			remaining--
+			if remaining == 0 {
+				// Same span the phased master measured: fork of the first
+				// section master to the last section's completion.
+				stats.CompileWallTime = time.Since(regionStart)
+			}
+			secResults[d.pos], secErrs[d.pos] = d.res, d.err
+			if d.err != nil {
+				cancel() // first fatal error severs the siblings
+				continue
+			}
+			if popts.Barrier {
+				continue // baseline links after the barrier, below
+			}
+			lt := time.Now()
+			err := builder.Add(outline.Sections[d.pos].Index, sectionObjects(d.res))
+			ldur := time.Since(lt)
+			stats.Pipeline.LinkTime += ldur
+			if remaining > 0 {
+				stats.Pipeline.LinkOverlap += ldur
+			}
+			if err != nil {
+				secErrs[d.pos] = err
+				cancel()
+			}
+		}
 	}
-	wg.Wait()
-	stats.CompileWallTime = time.Since(t2)
 
-	// Combine the section masters' results. Warnings are merged in section
-	// order — the paper's "combining diagnostic output" step — and every
-	// reconstructed FuncResult carries a non-nil (if empty) DiagBag, because
-	// the structured diagnostics cannot cross the process boundary.
+	// Error selection mirrors the phased master: the first failing section
+	// in outline order wins. Cancellation echoes from severed siblings (or
+	// from the caller's own ctx) never mask a genuine error.
+	var cancelled error
+	for i, err := range secErrs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelled == nil {
+				cancelled = fmt.Errorf("section %d: %w", outline.Sections[i].Index, err)
+			}
+			continue
+		}
+		return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, err)
+	}
+	if cancelled != nil {
+		return nil, stats, cancelled
+	}
+
+	// Combine the section masters' results in declaration order. Warnings
+	// are merged in section order — the paper's "combining diagnostic
+	// output" step — and every reconstructed FuncResult carries a non-nil
+	// (if empty) DiagBag, because the structured diagnostics cannot cross
+	// the process boundary.
 	var funcResults []*compiler.FuncResult
 	var warnings []string
 	warnings = append(warnings, compiler.FrontendWarnings(m, bag, nil)...)
-	for i, r := range results {
-		if errs[i] != nil {
-			return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, errs[i])
-		}
+	for _, r := range secResults {
 		stats.SectionCPU[r.Section] = r.MasterTime
 		stats.DispatchTime += r.PlanTime
 		stats.Dispatch.Units += r.Units
@@ -524,23 +713,43 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 		stats.Dispatch.RecompileRatio = float64(stats.Dispatch.RecompiledFuncs) / float64(total)
 	}
 
-	// Master, step 4: the sequential tail (assembly already happened per
-	// function; what remains is linking and driver generation — the paper's
-	// phase 4 minus the per-function work).
+	// Master, step 4: what remains of the sequential tail. Under the
+	// pipeline the sections are already linked and the driver leg is in
+	// flight — only ordering the cell images and collecting the driver are
+	// left. The baseline does all of it here, after the barrier.
 	t3 := time.Now()
-	linked, err := compiler.LinkResults(m.Name, funcResults)
+	if popts.Barrier {
+		for i, r := range secResults {
+			if err := builder.Add(outline.Sections[i].Index, sectionObjects(r)); err != nil {
+				return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, err)
+			}
+		}
+	}
+	linked, err := builder.Finish()
 	if err != nil {
 		return nil, stats, err
+	}
+	var drv *iodriver.Driver
+	if popts.Barrier {
+		drv = iodriver.Generate(m)
+	} else {
+		dd := <-drvCh
+		drv = dd.drv
+		stats.Pipeline.DriverTime = dd.time
 	}
 	res := &compiler.Result{
 		ModuleName: m.Name,
 		Module:     linked,
-		Driver:     iodriver.Generate(m),
+		Driver:     drv,
 		Funcs:      funcResults,
 		Warnings:   warnings,
 	}
 	stats.BackendTail = time.Since(t3)
 	stats.Elapsed = time.Since(start)
+	if !popts.Barrier {
+		stats.Pipeline.FrontendOverlap = min(stats.FrontendTime, stats.CompileWallTime)
+		stats.Pipeline.CriticalPath = stats.SetupTime + max(stats.FrontendTime, stats.CompileWallTime) + stats.BackendTail
+	}
 	if cs, ok := backend.(CacheStatser); ok {
 		stats.Cache = cs.CacheStats()
 	}
@@ -548,6 +757,16 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 		stats.Faults = fs.FaultStats()
 	}
 	return res, stats, nil
+}
+
+// sectionObjects extracts a section result's objects in declaration order
+// for the linker.
+func sectionObjects(r *SectionResult) []*asm.Object {
+	objs := make([]*asm.Object, len(r.Funcs))
+	for i := range r.Funcs {
+		objs[i] = r.Funcs[i].Object
+	}
+	return objs
 }
 
 // estimatorAccuracy computes the Spearman rank correlation between each
@@ -594,7 +813,7 @@ type unitDone struct {
 // tier with each function's incremental hash: unchanged functions are
 // answered on the spot and never reach sched.Plan, so the cost model only
 // schedules the functions that genuinely need compiling.
-func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
+func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
 	t0 := time.Now()
 	res := &SectionResult{
 		Section: so.Index,
@@ -635,12 +854,15 @@ func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so par
 
 	batcher, canBatch := backend.(BatchBackend)
 	dispatch := func(u sched.Unit) ([]*CompileReply, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if u.IsBatch() && canBatch {
 			items := make([]BatchItem, len(u.Tasks))
 			for i, t := range u.Tasks {
 				items[i] = BatchItem{Section: t.Section, Index: t.Index, FuncHash: fcache.FuncHash(so.Functions[t.Index].Hash)}
 			}
-			return batcher.CompileBatch(BatchRequest{
+			return batcher.CompileBatch(ctx, BatchRequest{
 				File:       file,
 				Source:     src,
 				SourceHash: srcHash,
@@ -652,7 +874,10 @@ func runSectionMaster(file string, src []byte, srcHash fcache.SourceHash, so par
 		// processor at a time: its functions run serially in this goroutine.
 		replies := make([]*CompileReply, len(u.Tasks))
 		for i, t := range u.Tasks {
-			r, err := backend.Compile(CompileRequest{
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := backend.Compile(ctx, CompileRequest{
 				File:       file,
 				Source:     src,
 				SourceHash: srcHash,

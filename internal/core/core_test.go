@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -24,8 +25,12 @@ func newLocalBackend(n int) *localBackend {
 
 func (b *localBackend) Workers() int { return cap(b.sem) }
 
-func (b *localBackend) Compile(req CompileRequest) (*CompileReply, error) {
-	b.sem <- struct{}{}
+func (b *localBackend) Compile(ctx context.Context, req CompileRequest) (*CompileReply, error) {
+	select {
+	case b.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	defer func() { <-b.sem }()
 	return RunFunctionMaster(req)
 }
@@ -174,14 +179,18 @@ type batchingBackend struct {
 	mu         sync.Mutex
 }
 
-func (b *batchingBackend) CompileBatch(req BatchRequest) ([]*CompileReply, error) {
-	b.localBackend.sem <- struct{}{}
+func (b *batchingBackend) CompileBatch(ctx context.Context, req BatchRequest) ([]*CompileReply, error) {
+	select {
+	case b.localBackend.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	defer func() { <-b.localBackend.sem }()
 	b.mu.Lock()
 	b.batchCalls++
 	b.batchFuncs += len(req.Items)
 	b.mu.Unlock()
-	return RunBatchWith(req, nil)
+	return RunBatchWith(ctx, req, nil)
 }
 
 // TestParallelPoliciesMatchSequential drives every dispatch policy over a
@@ -260,8 +269,8 @@ func TestParallelPoliciesMatchSequential(t *testing.T) {
 // answering with the wrong number of objects.
 type skewBackend struct{ *localBackend }
 
-func (b *skewBackend) CompileBatch(req BatchRequest) ([]*CompileReply, error) {
-	rs, err := RunBatchWith(req, nil)
+func (b *skewBackend) CompileBatch(ctx context.Context, req BatchRequest) ([]*CompileReply, error) {
+	rs, err := RunBatchWith(ctx, req, nil)
 	if err != nil {
 		return nil, err
 	}

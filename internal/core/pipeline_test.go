@@ -1,0 +1,221 @@
+package core
+
+// Tests for the overlapped master pipeline: output parity with the barrier
+// baseline, word-identical frontend-error aborts despite speculative
+// dispatch, prompt end-to-end cancellation without goroutine leaks, and the
+// self-consistency of the timing decomposition under overlap.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/wgen"
+)
+
+// TestPipelineMatchesBarrier compiles representative workloads through both
+// masters and requires byte-identical modules and identical warnings — the
+// streaming link and speculative dispatch must be invisible in the output.
+func TestPipelineMatchesBarrier(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  []byte
+	}{
+		{"mixed-straggler", wgen.MixedProgram(8)},
+		{"multi-section", wgen.MultiSectionProgram(wgen.Small, 3)},
+		{"user", wgen.UserProgram()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := compiler.CompileModule("m.w2", tc.src, compiler.Options{})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			bar, _, err := ParallelCompileWith("m.w2", tc.src, newLocalBackend(4), compiler.Options{},
+				ParallelOptions{Barrier: true})
+			if err != nil {
+				t.Fatalf("barrier: %v", err)
+			}
+			pipe, stats, err := ParallelCompileWith("m.w2", tc.src, newLocalBackend(4), compiler.Options{},
+				ParallelOptions{})
+			if err != nil {
+				t.Fatalf("pipeline: %v", err)
+			}
+			if err := VerifySameOutput(seq.Module, bar.Module); err != nil {
+				t.Errorf("barrier output differs from sequential: %v", err)
+			}
+			if err := VerifySameOutput(seq.Module, pipe.Module); err != nil {
+				t.Errorf("pipeline output differs from sequential: %v", err)
+			}
+			if len(pipe.Warnings) != len(bar.Warnings) {
+				t.Errorf("warnings: pipeline %d, barrier %d", len(pipe.Warnings), len(bar.Warnings))
+			}
+			for i := range bar.Warnings {
+				if i < len(pipe.Warnings) && pipe.Warnings[i] != bar.Warnings[i] {
+					t.Errorf("warning %d differs: %q vs %q", i, pipe.Warnings[i], bar.Warnings[i])
+				}
+			}
+			if stats.Pipeline.CriticalPath <= 0 {
+				t.Errorf("pipeline stats not populated: %+v", stats.Pipeline)
+			}
+		})
+	}
+}
+
+// TestFrontendErrorAbortWordIdentical checks speculative dispatch loses its
+// bet gracefully: a module whose frontend fails must abort with diagnostics
+// word-identical to the strictly phased master's, even though section
+// masters were already forked when the verdict arrived.
+func TestFrontendErrorAbortWordIdentical(t *testing.T) {
+	bad := []byte(`
+module m (out ys: float[1])
+section 1 of 1 {
+    function f() { send(Y, 1.0); }
+    function g() { undeclared = 1; send(Y, 2.0); }
+}
+`)
+	_, _, barErr := ParallelCompileWith("bad.w2", bad, newLocalBackend(2), compiler.Options{},
+		ParallelOptions{Barrier: true})
+	if barErr == nil {
+		t.Fatal("barrier master accepted a semantically bad module")
+	}
+	_, _, pipeErr := ParallelCompileWith("bad.w2", bad, newLocalBackend(2), compiler.Options{},
+		ParallelOptions{})
+	if pipeErr == nil {
+		t.Fatal("pipelined master accepted a semantically bad module")
+	}
+	if pipeErr.Error() != barErr.Error() {
+		t.Errorf("abort diagnostics differ:\npipeline: %s\nbarrier:  %s", pipeErr, barErr)
+	}
+}
+
+// gateBackend blocks its first Compile call until the request's ctx is
+// cancelled (signalling entry on the way in), making mid-stream
+// cancellation deterministic; every other call delegates.
+type gateBackend struct {
+	*localBackend
+	entered chan struct{}
+	mu      sync.Mutex
+	once    bool
+}
+
+func (b *gateBackend) Compile(ctx context.Context, req CompileRequest) (*CompileReply, error) {
+	first := false
+	b.mu.Lock()
+	if !b.once {
+		b.once, first = true, true
+	}
+	b.mu.Unlock()
+	if first {
+		close(b.entered)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return b.localBackend.Compile(ctx, req)
+}
+
+// TestCallerCancellationSeversFleet cancels the caller's ctx while a
+// section is mid-compile and checks the master returns promptly with the
+// cancellation (never a masked or invented error), leaks no goroutines, and
+// that an immediate retry compiles word-identical to sequential.
+func TestCallerCancellationSeversFleet(t *testing.T) {
+	src := wgen.MixedProgram(6)
+	base := runtime.NumGoroutine()
+
+	gate := &gateBackend{localBackend: newLocalBackend(2), entered: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, _, err := ParallelCompileContext(ctx, "mixed.w2", src, gate, compiler.Options{}, ParallelOptions{})
+		done <- result{err: err}
+	}()
+	<-gate.entered
+	cancel()
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatal("cancelled compile reported success")
+		}
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("cancellation masked: %v", r.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled compile did not return promptly")
+	}
+
+	// No goroutine leak: the fleet must drain back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines leaked after cancellation: %d now vs %d before", n, base)
+	}
+
+	// The retry compiles clean and word-identical to sequential.
+	seq, err := compiler.CompileModule("mixed.w2", src, compiler.Options{})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, _, err := ParallelCompile("mixed.w2", src, newLocalBackend(2), compiler.Options{})
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if err := VerifySameOutput(seq.Module, par.Module); err != nil {
+		t.Errorf("retry output differs from sequential: %v", err)
+	}
+}
+
+// TestPipelineStatsInvariants pins the timing decomposition's internal
+// consistency under overlap, so a future stats change cannot silently
+// report nonsense (an overlap longer than the phase it overlaps, a critical
+// path longer than the wall clock).
+func TestPipelineStatsInvariants(t *testing.T) {
+	src := wgen.MixedProgram(8)
+	_, s, err := ParallelCompileWith("mixed.w2", src, newLocalBackend(4), compiler.Options{}, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Pipeline
+	if p.FrontendOverlap > s.FrontendTime {
+		t.Errorf("FrontendOverlap %v > FrontendTime %v", p.FrontendOverlap, s.FrontendTime)
+	}
+	if p.FrontendOverlap > s.CompileWallTime {
+		t.Errorf("FrontendOverlap %v > CompileWallTime %v", p.FrontendOverlap, s.CompileWallTime)
+	}
+	if p.LinkOverlap > p.LinkTime {
+		t.Errorf("LinkOverlap %v > LinkTime %v", p.LinkOverlap, p.LinkTime)
+	}
+	if s.CompileWallTime > s.Elapsed {
+		t.Errorf("CompileWallTime %v > Elapsed %v", s.CompileWallTime, s.Elapsed)
+	}
+	if s.FrontendTime > s.Elapsed {
+		t.Errorf("FrontendTime %v > Elapsed %v", s.FrontendTime, s.Elapsed)
+	}
+	if p.CriticalPath > s.Elapsed {
+		t.Errorf("CriticalPath %v > Elapsed %v", p.CriticalPath, s.Elapsed)
+	}
+	want := s.SetupTime + max(s.FrontendTime, s.CompileWallTime) + s.BackendTail
+	if p.CriticalPath != want {
+		t.Errorf("CriticalPath %v != setup+max(frontend,compile-wall)+tail %v", p.CriticalPath, want)
+	}
+	if p.CriticalPath <= 0 || p.LinkTime <= 0 || p.DriverTime <= 0 {
+		t.Errorf("pipeline stats not populated: %+v", p)
+	}
+
+	// The barrier baseline reports no overlap at all.
+	_, sb, err := ParallelCompileWith("mixed.w2", src, newLocalBackend(4), compiler.Options{},
+		ParallelOptions{Barrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb := sb.Pipeline; pb != (PipelineStats{}) {
+		t.Errorf("barrier master reported pipeline overlap: %+v", pb)
+	}
+}

@@ -121,26 +121,75 @@ type Module struct {
 	Cells []*CellImage
 }
 
+// Builder links a module incrementally: each section's objects are linked
+// into a cell image the moment they are added (in any completion order), and
+// Finish orders the images by section index into the final module. It is the
+// streaming counterpart of LinkModule — the parallel master links each
+// section's output while later sections are still compiling, so the link
+// step overlaps the parallel region instead of extending the sequential
+// tail. A Builder is not safe for concurrent use; the master calls it from
+// its single combine loop.
+type Builder struct {
+	name  string
+	cells map[int]*CellImage
+}
+
+// NewBuilder returns an empty incremental linker for the named module.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, cells: make(map[int]*CellImage)}
+}
+
+// Add links one section's objects now. The objects follow LinkSection's
+// rules (exactly one entry, placed at address 0). Adding the same section
+// index twice is an error.
+func (b *Builder) Add(section int, objs []*asm.Object) error {
+	if _, dup := b.cells[section]; dup {
+		return fmt.Errorf("link: section %d linked twice", section)
+	}
+	img, err := LinkSection(objs)
+	if err != nil {
+		return err
+	}
+	b.cells[section] = img
+	return nil
+}
+
+// Linked reports how many sections have been linked so far.
+func (b *Builder) Linked() int { return len(b.cells) }
+
+// Finish orders the linked cell images by section index into the download
+// module. At least one section must have been added.
+func (b *Builder) Finish() (*Module, error) {
+	if len(b.cells) == 0 {
+		return nil, fmt.Errorf("link: module %s has no sections", b.name)
+	}
+	idxs := make([]int, 0, len(b.cells))
+	for i := range b.cells {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	m := &Module{Name: b.name}
+	for _, i := range idxs {
+		m.Cells = append(m.Cells, b.cells[i])
+	}
+	return m, nil
+}
+
 // LinkModule links every section's objects (grouped by section index) into
 // a download module. sections maps section index -> objects.
 func LinkModule(name string, sections map[int][]*asm.Object) (*Module, error) {
+	b := NewBuilder(name)
 	idxs := make([]int, 0, len(sections))
 	for i := range sections {
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
-	m := &Module{Name: name}
 	for _, i := range idxs {
-		img, err := LinkSection(sections[i])
-		if err != nil {
+		if err := b.Add(i, sections[i]); err != nil {
 			return nil, fmt.Errorf("section %d: %w", i, err)
 		}
-		m.Cells = append(m.Cells, img)
 	}
-	if len(m.Cells) == 0 {
-		return nil, fmt.Errorf("link: module %s has no sections", name)
-	}
-	return m, nil
+	return b.Finish()
 }
 
 // TotalWords is the module code size across all cells.

@@ -337,6 +337,35 @@ func SmallFuncsProgram(nfuncs int) []byte {
 	return []byte(sb.String())
 }
 
+// MixedProgram builds the straggler workload: one huge function followed by
+// n tiny-to-small ones (4–24 lines, cycling deterministically) in a single
+// section. The huge function dominates the parallel region's wall clock
+// while the tiny ones finish almost immediately — the shape where a barrier
+// master idles longest and an overlapped pipeline (frontend racing the
+// fleet, sections linked as they stream in) wins the most. The last tiny
+// function is the section entry.
+func MixedProgram(nTiny int) []byte {
+	if nTiny < 1 {
+		nTiny = 1
+	}
+	lineCounts := []int{4, 9, 14, 19, 24, 6, 11, 16}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module mixed%d (out ys: float[%d])\n\n", nTiny, nTiny+1)
+	sb.WriteString("section 1 of 1 {\n")
+	emit := func(fn string) {
+		for _, line := range strings.Split(strings.TrimRight(fn, "\n"), "\n") {
+			sb.WriteString("    " + line + "\n")
+		}
+	}
+	emit(Function("huge_1", Huge, 7919))
+	for i := 1; i <= nTiny; i++ {
+		name := fmt.Sprintf("tiny_%d", i)
+		emit(sizedFunction(name, lineCounts[(i-1)%len(lineCounts)], uint64(i)*2654435761))
+	}
+	sb.WriteString("}\n")
+	return []byte(sb.String())
+}
+
 // MultiSectionProgram builds a program with one function per section — the
 // original Warp usage where every section runs on its own group of cells.
 // Each section forwards its input and adds its own result, so the sections

@@ -227,3 +227,32 @@ func TestSmallFuncsProgram(t *testing.T) {
 		t.Error("SmallFuncsProgram must be deterministic")
 	}
 }
+
+func TestMixedProgram(t *testing.T) {
+	src := MixedProgram(12)
+	var bag source.DiagBag
+	o := parser.ParseOutline("mixed.w2", src, &bag)
+	if o == nil || bag.HasErrors() {
+		t.Fatalf("outline: %s", bag.String())
+	}
+	if len(o.Sections) != 1 || len(o.Sections[0].Functions) != 13 {
+		t.Fatalf("expected 1 section with 13 functions, got %+v", o.Sections)
+	}
+	// The straggler shape: exactly one huge function, the rest tiny.
+	funcs := o.Sections[0].Functions
+	if funcs[0].Name != "huge_1" || funcs[0].Lines < 300 {
+		t.Errorf("first function must be the huge straggler, got %s (%d lines)", funcs[0].Name, funcs[0].Lines)
+	}
+	for _, fo := range funcs[1:] {
+		if fo.Lines > 30 {
+			t.Errorf("function %s has %d lines; every non-straggler must stay tiny", fo.Name, fo.Lines)
+		}
+	}
+	if _, err := compiler.CompileModule("mixed.w2", src, compiler.Options{}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// Deterministic: two generations are byte-identical.
+	if string(MixedProgram(12)) != string(src) {
+		t.Error("MixedProgram must be deterministic")
+	}
+}
