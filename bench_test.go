@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -372,6 +373,45 @@ func BenchmarkIncrementalRecompile(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(stats.Dispatch.RecompileRatio, "recompile_ratio")
 	})
+}
+
+// BenchmarkParallelFrontend measures the span-sliced parallel frontend
+// against the sequential one on a wide module (32 same-sized functions over
+// 4 sections, wgen -kind wide) — the workload where frontend wall time is
+// bound by the largest function rather than the module. The outline is
+// precomputed outside the timer, exactly as in production: the master's
+// setup parse already paid for the spans before the frontend leg starts, so
+// charging the parallel path for a second outline would measure a pipeline
+// that does not exist.
+func BenchmarkParallelFrontend(b *testing.B) {
+	src := wgen.WideProgram(32, 4)
+	o := mustOutline(b, src)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, info, bag := compiler.Frontend("bench.w2", src)
+			if info == nil || bag.HasErrors() {
+				b.Fatal(bag.String())
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			var timing compiler.FrontendTiming
+			for i := 0; i < b.N; i++ {
+				_, info, bag, err := compiler.FrontendParallel(ctx, "bench.w2", src,
+					compiler.FrontendOptions{Parallel: true, Workers: workers, Outline: o, Timing: &timing})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if info == nil || bag.HasErrors() {
+					b.Fatal(bag.String())
+				}
+			}
+			b.ReportMetric(float64(timing.ParseWall.Nanoseconds()), "parse_wall_ns")
+			b.ReportMetric(float64(timing.CheckWall.Nanoseconds()), "check_wall_ns")
+		})
+	}
 }
 
 // Ablations (DESIGN.md): what each phase-3 strategy buys, measured as

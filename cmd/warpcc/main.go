@@ -14,6 +14,8 @@
 //	-sched fcfs|lpt       dispatch ordering (default lpt: cost-model + batching)
 //	-batch-threshold C    estimated-cost cutoff for batching (0 disables)
 //	-barrier              strictly phased master (baseline) instead of the pipeline
+//	-fe-sequential        sequential frontend instead of the parallel one
+//	-fe-workers N         parallel-frontend worker bound (0 = GOMAXPROCS)
 //	-call-timeout D       per-RPC deadline for -mode rpc (0 disables)
 //	-max-retries N        failover attempts per request for -mode rpc
 //	-dial-retry D         readmission probe period for quarantined workers
@@ -61,6 +63,8 @@ func main() {
 		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
 		batchThreshold = flag.Float64("batch-threshold", core.DefaultBatchThreshold, "estimated-cost cutoff below which functions are batched (0 disables batching)")
 		barrier        = flag.Bool("barrier", false, "use the paper's strictly phased master (frontend, fork, barrier, link) instead of the overlapped pipeline")
+		feSequential   = flag.Bool("fe-sequential", false, "use the sequential frontend for the master's phase-1 leg instead of the span-sliced parallel frontend")
+		feWorkers      = flag.Int("fe-workers", 0, "worker bound for the parallel frontend (0 = GOMAXPROCS)")
 
 		callTimeout = flag.Duration("call-timeout", 30*time.Second, "per-RPC deadline for -mode rpc (0 disables)")
 		maxRetries  = flag.Int("max-retries", 3, "max failover attempts per request for -mode rpc (0 disables)")
@@ -84,7 +88,12 @@ func main() {
 		DisableScheduling: *noSched,
 	}}
 
-	copts := core.ParallelOptions{BatchThreshold: *batchThreshold, Barrier: *barrier}
+	copts := core.ParallelOptions{
+		BatchThreshold:     *batchThreshold,
+		Barrier:            *barrier,
+		FrontendSequential: *feSequential,
+		FrontendWorkers:    *feWorkers,
+	}
 	switch *schedName {
 	case "fcfs":
 		copts.Sched = core.SchedFCFS
@@ -250,6 +259,10 @@ func printParallelStats(s *core.ParallelStats) {
 		fmt.Printf("pipeline: frontend-overlap %v, link %v (%v overlapped), driver %v, critical-path %v\n",
 			p.FrontendOverlap.Round(1000), p.LinkTime.Round(1000), p.LinkOverlap.Round(1000),
 			p.DriverTime.Round(1000), p.CriticalPath.Round(1000))
+	}
+	if p := s.Pipeline; p.FrontendWorkers > 0 {
+		fmt.Printf("pipeline: frontend-parse-wall %v, frontend-check-wall %v, frontend-workers %d\n",
+			p.FrontendParseWall.Round(1000), p.FrontendCheckWall.Round(1000), p.FrontendWorkers)
 	}
 	d := s.Dispatch
 	rankCorr := "" // meaningless below 3 samples (NaN): omitted entirely

@@ -8,6 +8,7 @@
 //	wgen -kind sections -size small -n 3   # 3-section pipeline
 //	wgen -kind user                        # the §4.3 user program
 //	wgen -kind mixed -n 12                 # 1 huge + 12 tiny (straggler workload)
+//	wgen -kind wide -n 32 -sections 4      # 32 medium functions over 4 sections
 //	wgen -small-funcs 32                   # 32 tiny functions (worst case)
 //
 // With -edit K, wgen additionally mutates K function bodies of the generated
@@ -27,9 +28,10 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "sn", "workload kind: sn, sections, user, or mixed (1 huge + n tiny stragglers)")
+	kind := flag.String("kind", "sn", "workload kind: sn, sections, user, mixed (1 huge + n tiny stragglers), or wide (n same-sized medium functions over -sections sections)")
 	sizeName := flag.String("size", "medium", "function size: tiny, small, medium, large, huge")
-	n := flag.Int("n", 1, "number of functions (sn, mixed) or sections (sections)")
+	n := flag.Int("n", 1, "number of functions (sn, mixed, wide) or sections (sections)")
+	sections := flag.Int("sections", 1, "number of sections for -kind wide")
 	smallFuncs := flag.Int("small-funcs", 0, "emit a module of N tiny functions (the paper's worst case); overrides -kind")
 	edit := flag.Int("edit", 0, "mutate K function bodies and write an old/new source pair (-old, -new)")
 	seed := flag.Uint64("seed", 1, "mutation seed for -edit")
@@ -69,6 +71,8 @@ func main() {
 		out = wgen.UserProgram()
 	case "mixed":
 		out = wgen.MixedProgram(*n)
+	case "wide":
+		out = wgen.WideProgram(*n, *sections)
 	default:
 		fmt.Fprintf(os.Stderr, "wgen: unknown kind %q\n", *kind)
 		os.Exit(2)

@@ -89,17 +89,7 @@ func Frontend(file string, src []byte) (*ast.Module, *sem.Info, *source.DiagBag)
 // frontend succeeded — a module with errors never reaches phases 2+3).
 func buildFrontendEntry(file string, src []byte) (*fcache.FrontendEntry, int64) {
 	m, info, bag := Frontend(file, src)
-	e := &fcache.FrontendEntry{Module: m, Info: info, Bag: bag}
-	if m != nil && !bag.HasErrors() {
-		hs := parser.FuncHashes(m, src)
-		e.FuncHashes = make(map[fcache.FuncKey]fcache.FuncHash, len(hs))
-		for k, v := range hs {
-			e.FuncHashes[fcache.FuncKey{Section: k.Section, Index: k.Index}] = fcache.FuncHash(v)
-		}
-	}
-	// The checked AST is a few times larger than its source text; the
-	// budget only needs the right order of magnitude.
-	return e, int64(len(src))*8 + 4096
+	return packageFrontendEntry(m, info, bag, src)
 }
 
 // FrontendEntryCached returns the cached phase-1 artifacts of src — checked

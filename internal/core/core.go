@@ -339,6 +339,14 @@ type ParallelOptions struct {
 	// sequential tail. It exists as the measured baseline for the overlapped
 	// pipeline (the default) and produces byte-identical output.
 	Barrier bool
+	// FrontendSequential selects the sequential frontend for the master's
+	// phase-1 leg. The default is the span-sliced parallel frontend
+	// (compiler.FrontendParallel), which produces word-identical artifacts;
+	// the sequential path is kept as the oracle and the conservative choice.
+	FrontendSequential bool
+	// FrontendWorkers bounds the parallel frontend's fan-out; <1 means
+	// GOMAXPROCS. Ignored under FrontendSequential.
+	FrontendWorkers int
 }
 
 // normalized resolves the zero-value defaults.
@@ -395,9 +403,17 @@ type DispatchStats struct {
 }
 
 // PipelineStats records how much of the master's sequential head and tail
-// the overlapped pipeline hid inside the parallel region. All fields are
-// zero under ParallelOptions.Barrier.
+// the overlapped pipeline hid inside the parallel region. The overlap fields
+// are zero under ParallelOptions.Barrier; the frontend fields are filled
+// whenever the parallel frontend actually ran (not on a frontend cache hit).
 type PipelineStats struct {
+	// FrontendParseWall and FrontendCheckWall split the master's frontend leg
+	// into its span-sliced parse and concurrent check; FrontendWorkers is the
+	// fan-out bound the parallel frontend resolved. All zero when the
+	// sequential frontend ran or the frontend tier answered from cache.
+	FrontendParseWall time.Duration
+	FrontendCheckWall time.Duration
+	FrontendWorkers   int
 	// FrontendOverlap is how much of the master's frontend ran concurrently
 	// with section compilation (min of FrontendTime and CompileWallTime):
 	// the paper's "sequential head" that speculative dispatch removed from
@@ -476,11 +492,16 @@ func ParallelCompileWith(file string, src []byte, backend Backend, opts compiler
 }
 
 // frontendVerdict is the master's own phase-1 leg, delivered to the combine
-// loop when it finishes racing the speculatively dispatched sections.
+// loop when it finishes racing the speculatively dispatched sections. err is
+// non-nil only when the leg was cancelled (the parallel frontend's sole
+// error mode); timing reports the parallel frontend's internal wall times
+// (zero on the sequential path and on frontend-tier cache hits).
 type frontendVerdict struct {
-	m    *ast.Module
-	bag  *source.DiagBag
-	time time.Duration
+	m      *ast.Module
+	bag    *source.DiagBag
+	err    error
+	time   time.Duration
+	timing compiler.FrontendTiming
 }
 
 // sectionDone is one section master's outcome, streamed to the combine loop
@@ -544,15 +565,32 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 	}
 
 	// The pipeline context: the first fatal error — or the caller's own
-	// cancellation — severs every other in-flight leg through it.
+	// cancellation — severs every other in-flight leg through it. The
+	// frontend leg is the exception: it answers to the caller's context
+	// only, because its verdict is authoritative — when speculative dispatch
+	// loses its bet, the fleet's errors are echoes and the abort message
+	// must carry the frontend's diagnostics, word-identical to the phased
+	// master's. A failing section therefore severs the fleet but lets the
+	// (in-process, cheap) frontend leg finish.
+	callerCtx := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	feCh := make(chan frontendVerdict, 1)
 	runFrontend := func() {
 		t := time.Now()
-		m, _, bag := compiler.FrontendCached(masterCache, srcHash, file, src)
-		feCh <- frontendVerdict{m: m, bag: bag, time: time.Since(t)}
+		var timing compiler.FrontendTiming
+		fe, err := compiler.FrontendEntryCachedWith(callerCtx, masterCache, srcHash, file, src, compiler.FrontendOptions{
+			Parallel: !popts.FrontendSequential,
+			Workers:  popts.FrontendWorkers,
+			Outline:  outline, // the setup parse already paid for the spans
+			Timing:   &timing,
+		})
+		if err != nil {
+			feCh <- frontendVerdict{err: err, time: time.Since(t)}
+			return
+		}
+		feCh <- frontendVerdict{m: fe.Module, bag: fe.Bag, time: time.Since(t), timing: timing}
 	}
 	secCh := make(chan sectionDone, len(outline.Sections))
 	regionStart := time.Now()
@@ -583,6 +621,10 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 		runFrontend()
 		fe := <-feCh
 		stats.FrontendTime = fe.time
+		recordFrontendTiming(stats, fe.timing)
+		if fe.err != nil {
+			return nil, stats, fmt.Errorf("master: frontend: %w", fe.err)
+		}
 		if fe.bag.HasErrors() {
 			return nil, stats, fmt.Errorf("master: front-end errors, compilation aborted:\n%s", fe.bag.String())
 		}
@@ -603,11 +645,21 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 	secResults := make([]*SectionResult, len(outline.Sections))
 	secErrs := make([]error, len(outline.Sections))
 	remaining := len(outline.Sections)
+	var feErr error
 	for remaining > 0 || !feDone {
 		select {
 		case fe := <-feCh:
 			feDone = true
 			stats.FrontendTime = fe.time
+			recordFrontendTiming(stats, fe.timing)
+			if fe.err != nil {
+				// The frontend leg was cancelled — by the caller, or by a
+				// failing section severing the pipeline. Keep draining; the
+				// error selection below decides what to report.
+				feErr = fe.err
+				cancel()
+				continue
+			}
 			if fe.bag.HasErrors() {
 				// Speculative dispatch lost its bet: sever the in-flight
 				// compiles, drain the fleet, and report the diagnostics
@@ -671,6 +723,11 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 			continue
 		}
 		return nil, stats, fmt.Errorf("section %d: %w", outline.Sections[i].Index, err)
+	}
+	if feErr != nil {
+		// No section reported a genuine error, so the cancellation originated
+		// outside the fleet (the caller's ctx); the frontend leg saw it first.
+		return nil, stats, fmt.Errorf("master: frontend: %w", feErr)
 	}
 	if cancelled != nil {
 		return nil, stats, cancelled
@@ -757,6 +814,18 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 		stats.Faults = fs.FaultStats()
 	}
 	return res, stats, nil
+}
+
+// recordFrontendTiming surfaces the parallel frontend's internal wall times
+// on the pipeline stats (no-op for the zero timing of a sequential or cached
+// frontend leg).
+func recordFrontendTiming(stats *ParallelStats, t compiler.FrontendTiming) {
+	if t.Workers == 0 {
+		return
+	}
+	stats.Pipeline.FrontendParseWall = t.ParseWall
+	stats.Pipeline.FrontendCheckWall = t.CheckWall
+	stats.Pipeline.FrontendWorkers = t.Workers
 }
 
 // sectionObjects extracts a section result's objects in declaration order

@@ -333,6 +333,31 @@ func (c *Cache) Frontend(h SourceHash, build func() (*FrontendEntry, int64)) *Fr
 	return v.(*FrontendEntry)
 }
 
+// FrontendErr is Frontend with an error path: build may fail — the parallel
+// frontend returns an error when its context is cancelled — in which case
+// the error propagates to every waiting caller and nothing is cached, so a
+// later request computes the entry afresh.
+func (c *Cache) FrontendErr(h SourceHash, build func() (*FrontendEntry, int64, error)) (*FrontendEntry, error) {
+	if c == nil {
+		e, _, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	v, err := c.getOrCompute("fe:"+h.String(), tierFrontend, func() (any, int64, error) {
+		e, cost, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return e, cost, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*FrontendEntry), nil
+}
+
 // FuncIR returns the lowered, inlined (call-free) flowgraph of the function
 // whose compilation inputs hash to fh, computing it with build on a miss.
 // The returned func is shared: callers must not mutate it — deep-copy

@@ -39,6 +39,15 @@ type FuncOutline struct {
 	SpanStart int
 	SpanEnd   int
 	BodyStart int
+	// StartLine/StartCol are the source position of the function keyword and
+	// EndLine/EndCol the position of the body's closing brace. They let a
+	// scanner be seeded mid-buffer (source.NewScannerAt) so a function body
+	// re-parsed from its span alone reports positions identical to a full
+	// sequential parse. Zero when the outline was computed without source.
+	StartLine int
+	StartCol  int
+	EndLine   int
+	EndCol    int
 	// Hash is the function's incremental content address (zero without
 	// source). Masters probe the object tier with it before scheduling, and
 	// dispatch requests carry it so workers can answer from cache.
@@ -98,6 +107,10 @@ func OutlineWithHashes(m *ast.Module, src []byte) *Outline {
 					fo.SpanStart = fn.FuncPos.Offset
 					fo.SpanEnd = fn.Body.RbracePos.Offset + 1
 					fo.BodyStart = fn.Body.LbracePos.Offset
+					fo.StartLine = fn.FuncPos.Line
+					fo.StartCol = fn.FuncPos.Col
+					fo.EndLine = fn.Body.RbracePos.Line
+					fo.EndCol = fn.Body.RbracePos.Col
 				}
 			}
 		}

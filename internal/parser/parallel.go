@@ -1,0 +1,207 @@
+// Span-sliced parallel parsing.
+//
+// ParseOutline records the exact byte span of every function declaration
+// (function keyword through closing brace) together with the line/column at
+// both ends. Those spans partition the module into independently parsable
+// slices: ParseFuncBody re-lexes and re-parses one declaration from its span
+// with a scanner seeded at the recorded position (source.NewScannerAt), so
+// every node position matches the sequential parse exactly, and
+// ParseModuleParallel runs one skeleton parse for the module and section
+// headers while a bounded worker group parses every function body
+// concurrently, then stitches the results into a module identical to
+// Parse's.
+//
+// Spans exist only for modules whose outline parse succeeded, i.e. modules
+// without syntax errors — so the concurrent re-parse of a span can never
+// fail. Any source that fails the outline parse (or any unexpected worker
+// diagnostic, which would indicate a span bug) falls back to the sequential
+// parser, keeping diagnostics word-identical to Parse in every case.
+package parser
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// ParseFuncBody parses one function declaration — header and body — in
+// isolation from its recorded byte span. The scanner is seeded with the
+// span's exact offset/line/column, so the returned declaration's positions
+// are identical to the ones a full sequential parse would assign. Syntax
+// problems are reported to diags; a nil return means the outline carries no
+// usable span (outline built without source) and the caller must fall back
+// to a sequential parse.
+func ParseFuncBody(file string, src []byte, fo *FuncOutline, diags *source.DiagBag) *ast.FuncDecl {
+	if fo == nil || fo.SpanEnd <= fo.SpanStart || fo.SpanEnd > len(src) || fo.StartLine <= 0 {
+		return nil
+	}
+	p := &parser{diags: diags, sc: source.NewScannerAt(file, src, diags, fo.SpanStart, fo.StartLine, fo.StartCol)}
+	p.next()
+	if p.tok != source.FUNCTION {
+		p.errorf("expected %q at function span start, found %s", source.FUNCTION.String(), p.tokDesc())
+		return nil
+	}
+	f := p.funcDecl()
+	f.SectionIndex = fo.Section
+	f.FuncIndex = fo.Index
+	return f
+}
+
+// parsedFunc is one worker's output: the declaration parsed from span
+// (si, fi) with its private diagnostic bag.
+type parsedFunc struct {
+	fn  *ast.FuncDecl
+	bag *source.DiagBag
+}
+
+// ParseModuleParallel parses src into a module identical to Parse's result,
+// using the outline's function spans to lex and parse every function body
+// concurrently on at most `workers` goroutines while the module and section
+// headers are parsed by a single skeleton pass. Diagnostics land in diags in
+// the same order the sequential parser would emit them. The returned error
+// is non-nil only when ctx was cancelled; every worker goroutine has exited
+// by the time ParseModuleParallel returns.
+//
+// A nil outline, an outline without spans, or any unexpected diagnostic from
+// a span parse (impossible for an outline produced by ParseOutline on the
+// same bytes, but checked defensively) falls back to the sequential parser,
+// so the result — tree and diagnostics — is always word-identical to Parse.
+func ParseModuleParallel(ctx context.Context, file string, src []byte, outline *Outline, workers int, diags *source.DiagBag) (*ast.Module, error) {
+	if outline == nil || !outlineHasSpans(outline) {
+		return Parse(file, src, diags), nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Fan the function spans out to a bounded worker group. Results are
+	// slotted by (section position, function index), so completion order is
+	// irrelevant.
+	type job struct {
+		si int
+		fo *FuncOutline
+	}
+	var jobs []job
+	for si := range outline.Sections {
+		for fi := range outline.Sections[si].Functions {
+			jobs = append(jobs, job{si: si, fo: &outline.Sections[si].Functions[fi]})
+		}
+	}
+	results := make([][]parsedFunc, len(outline.Sections))
+	for si := range outline.Sections {
+		results[si] = make([]parsedFunc, len(outline.Sections[si].Functions))
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				bag := &source.DiagBag{}
+				fn := ParseFuncBody(file, src, j.fo, bag)
+				results[j.si][j.fo.Index] = parsedFunc{fn: fn, bag: bag}
+			}
+		}()
+	}
+
+	// The skeleton parse runs on the caller's goroutine, concurrently with
+	// the workers: module header, section headers, and a placeholder per
+	// function span.
+	skip := make(map[int]*FuncOutline, len(jobs))
+	for _, j := range jobs {
+		skip[j.fo.SpanStart] = j.fo
+	}
+	skelBag := &source.DiagBag{}
+	sp := &parser{
+		diags: skelBag,
+		sc:    source.NewScanner(file, src, skelBag),
+		file:  file,
+		src:   src,
+		skip:  skip,
+	}
+	sp.next()
+	m := sp.module()
+	if sp.tok != source.EOF {
+		sp.errorf("unexpected %s after end of module", sp.tokDesc())
+	}
+
+	feed := func() error {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	err := feed()
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stitch — after verifying the bet: the outline promised a syntax-clean
+	// module, so neither the skeleton nor any span parse may have produced a
+	// diagnostic or a skew between placeholders and spans. Any violation
+	// falls back to the one sequential parse that defines the output.
+	ok := skelBag.ErrorCount() == 0 && m != nil && len(m.Sections) == len(outline.Sections)
+	if ok {
+	stitch:
+		for si, sec := range m.Sections {
+			if len(sec.Funcs) != len(results[si]) {
+				ok = false
+				break
+			}
+			for fi := range sec.Funcs {
+				r := results[si][fi]
+				if sec.Funcs[fi] != nil || r.fn == nil || r.bag.ErrorCount() > 0 {
+					ok = false
+					break stitch
+				}
+				r.fn.SectionIndex = sec.Index
+				r.fn.FuncIndex = fi
+				sec.Funcs[fi] = r.fn
+			}
+		}
+	}
+	if !ok {
+		var fresh source.DiagBag
+		m = Parse(file, src, &fresh)
+		diags.Merge(&fresh)
+		return m, nil
+	}
+
+	// Deterministic diagnostic combine: skeleton first, then every span bag
+	// in declaration order (all empty of errors here; warnings, if the
+	// grammar ever grows any, would land exactly where Parse puts them).
+	diags.Merge(skelBag)
+	for si := range results {
+		for fi := range results[si] {
+			diags.Merge(results[si][fi].bag)
+		}
+	}
+	return m, nil
+}
+
+// outlineHasSpans reports whether every function of the outline carries a
+// usable byte span with seed positions.
+func outlineHasSpans(o *Outline) bool {
+	n := 0
+	for _, so := range o.Sections {
+		for _, fo := range so.Functions {
+			if fo.SpanEnd <= fo.SpanStart || fo.StartLine <= 0 {
+				return false
+			}
+			n++
+		}
+	}
+	return n > 0
+}

@@ -48,6 +48,14 @@ type parser struct {
 	tok source.Token
 	lit string
 	pos source.Pos
+
+	// Skeleton-parse state (span-sliced parallel parsing, parallel.go): when
+	// skip maps the offset of a function keyword to its outline, section()
+	// appends a nil placeholder instead of parsing the declaration and the
+	// scanner jumps past the recorded span. Unused (nil) in a normal parse.
+	file string
+	src  []byte
+	skip map[int]*FuncOutline
 }
 
 func (p *parser) next() {
@@ -154,6 +162,15 @@ func (p *parser) section() *ast.Section {
 	}
 	s.LbracePos = p.expect(source.LBRACE)
 	for p.tok == source.FUNCTION {
+		if fo, ok := p.skip[p.pos.Offset]; ok {
+			// Skeleton parse: this declaration is being parsed concurrently
+			// from its span; leave a placeholder slot (stitched by
+			// ParseModuleParallel) and jump the scanner past the body.
+			s.Funcs = append(s.Funcs, nil)
+			p.sc = source.NewScannerAt(p.file, p.src, p.diags, fo.SpanEnd, fo.EndLine, fo.EndCol+1)
+			p.next()
+			continue
+		}
 		f := p.funcDecl()
 		f.SectionIndex = s.Index
 		f.FuncIndex = len(s.Funcs)

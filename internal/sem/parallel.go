@@ -1,0 +1,174 @@
+// Concurrent semantic checking.
+//
+// Check's work splits cleanly in two. Pass A — streams, section headers,
+// function signatures, and name insertion — is inherently sequential (later
+// declarations see earlier ones) but cheap: it never looks inside a body.
+// Pass B — checking each function body — is the bulk of the walk and is
+// independent per function once pass A has pinned down what every body can
+// see. CheckParallel runs pass A on the calling goroutine, then fans the
+// bodies out to a bounded worker group, each checking against a read-only
+// scope chain with a private Info and diagnostic bag, and merges the results
+// in declaration order so the output is word-identical to Check's.
+//
+// The scope a body sees is a per-function flat snapshot instead of Check's
+// single mutable section scope: body i checks against scope_i, a fresh child
+// of the module scope holding functions 0..i-1 under the flat scope's
+// keep-first semantics (a duplicate name never displaces the first
+// declaration). Every lookup therefore resolves to exactly the object the
+// sequential checker would find, each scope_i is immutable by the time any
+// worker reads it, and — unlike a chain of single-entry scopes — lookup cost
+// does not grow with the function's position in the section.
+package sem
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// CheckFuncBody checks one function body against scope (the names visible to
+// it: module streams plus the functions declared before it in its section).
+// fn.Sig must already be set (by the signature pass). The walk records into
+// info and diags only, so concurrent calls on distinct functions are safe as
+// long as each call gets its own info and diags and the scope chain is no
+// longer mutated.
+func CheckFuncBody(fn *ast.FuncDecl, scope *Scope, info *Info, diags *source.DiagBag) {
+	c := &checker{diags: diags, info: info}
+	c.funcBody(fn, scope)
+}
+
+// checkUnit is one function body scheduled for pass B, with the merge-order
+// bags pass A prepared for it.
+type checkUnit struct {
+	fn    *ast.FuncDecl
+	scope *Scope // read-only after pass A
+
+	bodyBag   *source.DiagBag // filled by the worker
+	redeclBag *source.DiagBag // filled by pass A (redeclaration at fn.Pos)
+	info      *Info           // filled by the worker
+}
+
+// CheckParallel type-checks the module like Check but runs function bodies
+// concurrently on at most `workers` goroutines. The returned Info and the
+// diagnostics appended to diags are identical to Check's — diagnostics are
+// recorded into private per-function bags and merged in declaration order,
+// never completion order, so equal-position messages keep the sequential
+// emission order. The error is non-nil only when ctx was cancelled; all
+// worker goroutines have exited by the time CheckParallel returns, and no
+// partial Info escapes.
+func CheckParallel(ctx context.Context, m *ast.Module, diags *source.DiagBag, workers int) (*Info, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	info := &Info{
+		Uses:     make(map[*ast.Ident]*Object),
+		FuncObjs: make(map[*ast.FuncDecl]*Object),
+		Locals:   make(map[*ast.FuncDecl][]*Object),
+	}
+	headBag := &source.DiagBag{}
+	hc := &checker{diags: headBag, info: info}
+
+	// Pass A: module scope, section checks, signatures, and the per-body
+	// scope chain. Mirrors checker.module/section minus funcBody.
+	moduleScope := NewScope(nil)
+	for _, sp := range m.Streams {
+		t := hc.resolveType(sp.Type)
+		obj := &Object{Name: sp.Name, Kind: StreamObj, Type: t, Pos: sp.Pos(), Decl: sp}
+		if prev := moduleScope.Insert(obj); prev != nil {
+			hc.errorf(sp.Pos(), "stream %s redeclared (previous declaration at %s)", sp.Name, prev.Pos)
+		}
+	}
+
+	var units []*checkUnit
+	seenSection := make(map[int]source.Pos)
+	for _, sec := range m.Sections {
+		if pos, dup := seenSection[sec.Index]; dup {
+			hc.errorf(sec.Pos(), "section %d redeclared (previous declaration at %s)", sec.Index, pos)
+		}
+		seenSection[sec.Index] = sec.Pos()
+		if sec.Of != 0 && sec.Of != len(m.Sections) {
+			hc.errorf(sec.Pos(), "section %d declares \"of %d\" but module has %d sections",
+				sec.Index, sec.Of, len(m.Sections))
+		}
+
+		var visible []*Object // keep-first, in declaration order
+		first := make(map[string]*Object)
+		for _, fn := range sec.Funcs {
+			fn.Sig = hc.signature(fn)
+			obj := &Object{Name: fn.Name, Kind: FuncObj, Type: fn.Sig, Pos: fn.Pos(), Decl: fn}
+			info.FuncObjs[fn] = obj
+			snap := NewScope(moduleScope)
+			for _, o := range visible {
+				snap.Insert(o)
+			}
+			u := &checkUnit{fn: fn, scope: snap, bodyBag: &source.DiagBag{}, redeclBag: &source.DiagBag{}}
+			units = append(units, u)
+			if prev, dup := first[fn.Name]; dup {
+				u.redeclBag.Errorf(fn.Pos(), "function %s redeclared in section %d (previous declaration at %s)",
+					fn.Name, sec.Index, prev.Pos)
+			} else {
+				first[fn.Name] = obj
+				visible = append(visible, obj)
+			}
+		}
+	}
+
+	// Pass B: bounded fan-out over the bodies. Workers start only after pass
+	// A is complete, so every scope in the chain — and every fn.Sig — is
+	// immutable from here on.
+	nw := workers
+	if nw > len(units) {
+		nw = len(units)
+	}
+	jobCh := make(chan *checkUnit)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobCh {
+				pinfo := &Info{
+					Uses:     make(map[*ast.Ident]*Object),
+					FuncObjs: make(map[*ast.FuncDecl]*Object),
+					Locals:   make(map[*ast.FuncDecl][]*Object),
+				}
+				CheckFuncBody(u.fn, u.scope, pinfo, u.bodyBag)
+				u.info = pinfo
+			}
+		}()
+	}
+	feed := func() error {
+		defer close(jobCh)
+		for _, u := range units {
+			select {
+			case jobCh <- u:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	err := feed()
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge in declaration order. Equal-position pairs all occur within one
+	// function, where the sequential emission order is signature (headBag),
+	// then body — parameter redeclarations and the missing-return at fn.Pos
+	// — then the redeclaration of the function itself, also at fn.Pos.
+	diags.Merge(headBag)
+	for _, u := range units {
+		diags.MergeOrdered(u.bodyBag, u.redeclBag)
+		for id, obj := range u.info.Uses {
+			info.Uses[id] = obj
+		}
+		for fn, locals := range u.info.Locals {
+			info.Locals[fn] = locals
+		}
+	}
+	return info, nil
+}

@@ -1,0 +1,178 @@
+package sem_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/wgen"
+)
+
+// semSources is the parity corpus: clean wgen modules plus hand-written
+// error-laden sources covering every emission-order collision — signature
+// vs body errors on a parameter, missing-return vs redeclaration at the
+// function keyword, duplicates across sections and streams.
+func semSources() map[string][]byte {
+	return map[string][]byte{
+		"small": wgen.SmallFuncsProgram(10),
+		"mixed": wgen.MixedProgram(6),
+		"wide":  wgen.WideProgram(12, 3),
+		"user":  wgen.UserProgram(),
+		"redecl": []byte(`module t
+section 1 {
+	function f(a: int): int { return a; }
+	function f(a: int): int { return a + 1; }
+	function g(): int { return f(2); }
+}
+`),
+		"missing_return_and_redecl": []byte(`module t
+section 1 {
+	function f(): int { var x: int = 1; x = 2; }
+	function f(): int { return 3; }
+	function g(): int { return f(); }
+}
+`),
+		"param_sig_and_body": []byte(`module t (out ys: float[1])
+section 1 {
+	function f(a: float[2], a: int): int { return a; }
+	function g(): int { return 1; }
+}
+`),
+		"type_errors": []byte(`module t
+section 1 {
+	function f(x: int): int {
+		var b: bool = x;
+		var y: float = 1.5;
+		while x { y = y + true; }
+		return z;
+	}
+	function g(): int { return f(1, 2); }
+}
+`),
+		"call_order": []byte(`module t
+section 1 {
+	function a(): int { return b(); }
+	function b(): int { return 1; }
+	function c(): int { return a() + b(); }
+}
+`),
+		"dup_streams_sections": []byte(`module t (out ys: float[1], out ys: float[2])
+section 1 of 3 {
+	function f(): int { return 1; }
+}
+section 1 {
+	function g(): int { return 2; }
+}
+`),
+	}
+}
+
+func parseFor(t *testing.T, src []byte) *ast.Module {
+	t.Helper()
+	var bag source.DiagBag
+	m := parser.Parse("m.w2", src, &bag)
+	if m == nil {
+		t.Fatalf("no module: %s", bag.String())
+	}
+	return m
+}
+
+// localNames summarizes Info.Locals keyed by the function's locator so that
+// infos from two different parses of the same source can be compared.
+func localNames(info *sem.Info) map[string][]string {
+	out := make(map[string][]string)
+	for fn, objs := range info.Locals {
+		key := fmt.Sprintf("s%d.f%d", fn.SectionIndex, fn.FuncIndex)
+		var names []string
+		for _, o := range objs {
+			names = append(names, o.Name)
+		}
+		out[key] = names
+	}
+	return out
+}
+
+// TestCheckParallelParity checks that CheckParallel's diagnostics and Info
+// match Check's exactly across the corpus and worker counts. Each checker
+// runs on its own parse of the source: checking mutates the tree (implicit
+// widening conversions, resolved types), so sharing one tree would not
+// compare two independent runs.
+func TestCheckParallelParity(t *testing.T) {
+	for name, src := range semSources() {
+		for _, workers := range []int{1, 2, 4, 8} {
+			seqMod := parseFor(t, src)
+			var seqBag source.DiagBag
+			seqInfo := sem.Check(seqMod, &seqBag)
+
+			parMod := parseFor(t, src)
+			var parBag source.DiagBag
+			parInfo, err := sem.CheckParallel(context.Background(), parMod, &parBag, workers)
+			if err != nil {
+				t.Fatalf("%s/w%d: unexpected error: %v", name, workers, err)
+			}
+
+			if got, want := parBag.String(), seqBag.String(); got != want {
+				t.Errorf("%s/w%d: diagnostics differ:\n got: %q\nwant: %q", name, workers, got, want)
+			}
+			if got, want := parBag.ErrorCount(), seqBag.ErrorCount(); got != want {
+				t.Errorf("%s/w%d: error count %d, want %d", name, workers, got, want)
+			}
+			if got, want := len(parInfo.FuncObjs), len(seqInfo.FuncObjs); got != want {
+				t.Errorf("%s/w%d: %d func objects, want %d", name, workers, got, want)
+			}
+			if got, want := len(parInfo.Uses), len(seqInfo.Uses); got != want {
+				t.Errorf("%s/w%d: %d uses, want %d", name, workers, got, want)
+			}
+			gotLocals, wantLocals := localNames(parInfo), localNames(seqInfo)
+			if len(gotLocals) != len(wantLocals) {
+				t.Errorf("%s/w%d: locals for %d functions, want %d", name, workers, len(gotLocals), len(wantLocals))
+			}
+			for key, want := range wantLocals {
+				got := gotLocals[key]
+				if len(got) != len(want) {
+					t.Errorf("%s/w%d: %s has locals %v, want %v", name, workers, key, got, want)
+					continue
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s/w%d: %s local %d = %s, want %s", name, workers, key, i, got[i], want[i])
+					}
+				}
+			}
+			// The checked trees must print identically (widening rewrites
+			// applied the same way).
+			if got, want := ast.Format(parMod), ast.Format(seqMod); got != want {
+				t.Errorf("%s/w%d: checked trees differ", name, workers)
+			}
+		}
+	}
+}
+
+// TestCheckParallelCancel checks prompt, leak-free exit on cancellation.
+func TestCheckParallelCancel(t *testing.T) {
+	m := parseFor(t, wgen.WideProgram(48, 3))
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var bag source.DiagBag
+	info, err := sem.CheckParallel(ctx, m, &bag, 4)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if info != nil {
+		t.Fatal("cancelled check returned an Info")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}

@@ -86,6 +86,20 @@ func (b *DiagBag) Merge(other *DiagBag) {
 	b.errs += other.errs
 }
 
+// MergeOrdered merges the given bags into b in argument order. It is the
+// deterministic combine step for parallel producers: each concurrent phase
+// records into a private bag, and the coordinator merges the bags in
+// declaration order — never completion order. Because All() sorts by
+// position, stable on insertion index, merging in a fixed order makes the
+// rendered output independent of goroutine scheduling: two diagnostics at
+// the same position always appear in the order their bags were merged, and
+// within one bag in the order they were recorded. Nil bags are skipped.
+func (b *DiagBag) MergeOrdered(bags ...*DiagBag) {
+	for _, other := range bags {
+		b.Merge(other)
+	}
+}
+
 // Err returns an error summarizing the bag if it holds any errors, else nil.
 func (b *DiagBag) Err() error {
 	if !b.HasErrors() {

@@ -1,0 +1,122 @@
+package source
+
+import (
+	"testing"
+)
+
+// TestNewScannerAtMatchesFullScan seeds a scanner at every token boundary of
+// a program and checks that the tokens it produces from there are identical
+// — literal and position — to the full scan's suffix.
+func TestNewScannerAtMatchesFullScan(t *testing.T) {
+	src := []byte(`module m (out ys: float[2])
+// comment line
+section 1 of 1 {
+    function f(a: int): float {
+        var x: float = 1.5; /* block */
+        x = x * 2.0e1;
+        return x;
+    }
+}
+`)
+	var bag DiagBag
+	full := ScanAll("m.w2", src, &bag)
+	if bag.HasErrors() {
+		t.Fatal(bag.String())
+	}
+	for i, at := range full {
+		if at.Tok == EOF {
+			break
+		}
+		var seedBag DiagBag
+		s := NewScannerAt("m.w2", src, &seedBag, at.Pos.Offset, at.Pos.Line, at.Pos.Col)
+		for j := i; j < len(full); j++ {
+			tok, lit, pos := s.Next()
+			want := full[j]
+			if tok != want.Tok || lit != want.Lit || pos != want.Pos {
+				t.Fatalf("seed at token %d: token %d = %v %q %v, want %v %q %v",
+					i, j, tok, lit, pos, want.Tok, want.Lit, want.Pos)
+			}
+			if tok == EOF {
+				break
+			}
+		}
+		if seedBag.HasErrors() {
+			t.Fatalf("seed at token %d: %s", i, seedBag.String())
+		}
+	}
+}
+
+// TestNewScannerAtClamps checks the defensive clamping of out-of-range
+// offsets.
+func TestNewScannerAtClamps(t *testing.T) {
+	src := []byte("module m")
+	var bag DiagBag
+	s := NewScannerAt("m.w2", src, &bag, len(src)+10, 1, 1)
+	if tok, _, _ := s.Next(); tok != EOF {
+		t.Fatalf("past-end seed: got %v, want EOF", tok)
+	}
+	s = NewScannerAt("m.w2", src, &bag, -5, 1, 1)
+	if tok, lit, _ := s.Next(); tok != MODULE {
+		t.Fatalf("negative seed: got %v %q, want module keyword", tok, lit)
+	}
+}
+
+// TestMergeOrderedDeterministic checks that merging producer bags in
+// declaration order renders the same output regardless of which producer
+// recorded first, and that equal-position diagnostics keep bag-merge order.
+func TestMergeOrderedDeterministic(t *testing.T) {
+	at := func(off int) Pos { return Pos{File: "m.w2", Offset: off, Line: 1, Col: off + 1} }
+
+	build := func(fillOrder []int) string {
+		bags := make([]*DiagBag, 3)
+		for i := range bags {
+			bags[i] = &DiagBag{}
+		}
+		// Fill the bags in the given (completion) order; bag i always holds
+		// the same diagnostics.
+		for _, i := range fillOrder {
+			switch i {
+			case 0:
+				bags[0].Errorf(at(10), "first at 10")
+				bags[0].Errorf(at(10), "second at 10")
+			case 1:
+				bags[1].Errorf(at(5), "at 5")
+			case 2:
+				bags[2].Warnf(at(10), "warn at 10")
+			}
+		}
+		var out DiagBag
+		out.MergeOrdered(bags[0], nil, bags[1], bags[2])
+		return out.String()
+	}
+
+	want := build([]int{0, 1, 2})
+	for _, order := range [][]int{{2, 1, 0}, {1, 0, 2}, {2, 0, 1}} {
+		if got := build(order); got != want {
+			t.Fatalf("fill order %v changed output:\n got: %q\nwant: %q", order, got, want)
+		}
+	}
+
+	// Position sort still applies across bags; within a position, bag order
+	// then insertion order decide.
+	var out DiagBag
+	b0, b1, b2 := &DiagBag{}, &DiagBag{}, &DiagBag{}
+	b0.Errorf(at(10), "first at 10")
+	b0.Errorf(at(10), "second at 10")
+	b1.Errorf(at(5), "at 5")
+	b2.Warnf(at(10), "warn at 10")
+	out.MergeOrdered(b0, b1, b2)
+	all := out.All()
+	wantMsgs := []string{"at 5", "first at 10", "second at 10", "warn at 10"}
+	if len(all) != len(wantMsgs) {
+		t.Fatalf("got %d diagnostics, want %d", len(all), len(wantMsgs))
+	}
+	for i, d := range all {
+		if d.Msg != wantMsgs[i] {
+			t.Errorf("diag %d = %q, want %q", i, d.Msg, wantMsgs[i])
+		}
+	}
+	if out.ErrorCount() != 3 {
+		t.Errorf("ErrorCount = %d, want 3", out.ErrorCount())
+	}
+}

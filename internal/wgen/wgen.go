@@ -421,6 +421,50 @@ func forwardingFunction(name string, size Size, seed uint64, relay int) string {
 	return g.buf.String()
 }
 
+// WideProgram builds the frontend-scaling workload: nfuncs same-sized
+// medium functions spread evenly across nsections sections (earlier sections
+// take the remainder). Every function costs the frontend about the same, so
+// the module's parse+check wall time under a parallel frontend should shrink
+// toward the cost of one function — the shape BenchmarkParallelFrontend
+// measures. Each section's entry is a forwarding function, so the sections
+// form a runnable pipeline exactly like MultiSectionProgram's.
+func WideProgram(nfuncs, nsections int) []byte {
+	if nsections < 1 {
+		nsections = 1
+	}
+	if nfuncs < nsections {
+		nfuncs = nsections
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module wide%dx%d (out ys: float[%d])\n\n", nfuncs, nsections, nsections)
+	per := nfuncs / nsections
+	rem := nfuncs % nsections
+	fid := 0
+	for s := 1; s <= nsections; s++ {
+		n := per
+		if s <= rem {
+			n++
+		}
+		fmt.Fprintf(&sb, "section %d of %d {\n", s, nsections)
+		emit := func(fn string) {
+			for _, line := range strings.Split(strings.TrimRight(fn, "\n"), "\n") {
+				sb.WriteString("    " + line + "\n")
+			}
+		}
+		for i := 1; i < n; i++ {
+			fid++
+			emit(Function(fmt.Sprintf("wide_%d", fid), Medium, uint64(fid)*6700417))
+		}
+		fid++
+		emit(forwardingFunction(fmt.Sprintf("wide_%d", fid), Medium, uint64(fid)*6700417, s-1))
+		sb.WriteString("}\n")
+		if s < nsections {
+			sb.WriteString("\n")
+		}
+	}
+	return []byte(sb.String())
+}
+
 // UserProgram reproduces the structure of §4.3's mechanical-engineering
 // application: three section programs with three functions each. Per
 // section, two small functions (5–45 lines, the paper's 2–6 minute
