@@ -9,6 +9,7 @@
 //	warpcc [flags] file.w2
 //
 //	-mode seq|par|rpc     compilation mode (default seq)
+//	-daemon ADDR          compile via a running warpd daemon instead (unix:/path or host:port)
 //	-j N                  worker count for -mode par (default 4)
 //	-workers host:port,.. worker addresses for -mode rpc
 //	-sched fcfs|lpt       dispatch ordering (default lpt: cost-model + batching)
@@ -27,9 +28,16 @@
 //	-no-pipeline          disable software pipelining
 //	-no-sched             disable instruction scheduling
 //	-stats                print per-function compile statistics
+//	-stats-json           emit the parallel stats as one JSON object on stderr
+//
+// In daemon mode the objects stay in the daemon, so -S prints no
+// listings; everything else (-run, -verify, -stats) works unchanged.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -42,6 +50,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/warpsim"
 )
 
@@ -59,6 +68,9 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
 		cacheDir   = flag.String("cache-dir", "", "disk-backed object cache directory for par/rpc modes (persists across runs; overrides WARP_CACHE_DIR)")
 		showStats  = flag.Bool("stats", false, "print per-function statistics")
+		statsJSON  = flag.Bool("stats-json", false, "emit the parallel-compilation stats as one JSON object on stderr (durations in nanoseconds; rank-corr 0 when not computed)")
+		daemonAddr = flag.String("daemon", "", "compile via a running warpd daemon at this address (unix:/path or host:port) instead of -mode")
+		clientID   = flag.String("client", "", "fair-share identity sent to the daemon (default: the connection address)")
 
 		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
 		batchThreshold = flag.Float64("batch-threshold", core.DefaultBatchThreshold, "estimated-cost cutoff below which functions are batched (0 disables batching)")
@@ -107,10 +119,13 @@ func main() {
 	}
 
 	var res *compiler.Result
-	switch *mode {
-	case "seq":
+	var pstats *core.ParallelStats
+	switch {
+	case *daemonAddr != "":
+		res, pstats, err = daemonCompile(*daemonAddr, *clientID, file, src, opts, copts)
+	case *mode == "seq":
 		res, err = compiler.CompileModule(file, src, opts)
-	case "par":
+	case *mode == "par":
 		var pool *cluster.LocalPool
 		if *noCache {
 			if *cacheDir != "" {
@@ -125,12 +140,8 @@ func main() {
 				}
 			}
 		}
-		var pstats *core.ParallelStats
 		res, pstats, err = core.ParallelCompileWith(file, src, pool, opts, copts)
-		if err == nil && *showStats {
-			printParallelStats(pstats)
-		}
-	case "rpc":
+	case *mode == "rpc":
 		if *workers == "" {
 			fatal(fmt.Errorf("-mode rpc requires -workers"))
 		}
@@ -159,21 +170,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warpcc: degraded start: %d/%d workers reachable\n",
 				pool.Healthy(), pool.Workers())
 		}
-		var pstats *core.ParallelStats
 		res, pstats, err = core.ParallelCompileWith(file, src, pool, opts, copts)
-		if err == nil {
-			for _, w := range pstats.Faults.Warnings {
-				fmt.Fprintln(os.Stderr, "warpcc: degraded:", w)
-			}
-			if *showStats {
-				printParallelStats(pstats)
-			}
-		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if pstats != nil {
+		for _, w := range pstats.Faults.Warnings {
+			fmt.Fprintln(os.Stderr, "warpcc: degraded:", w)
+		}
+		if *showStats {
+			printParallelStats(pstats)
+		}
+		if *statsJSON {
+			printParallelStatsJSON(pstats)
+		}
 	}
 
 	// The combined diagnostic output (the paper's master prints what the
@@ -246,6 +259,59 @@ func main() {
 				i, 100*cs.Utilization(st.Cycles+1), cs.Executed, cs.Stalled)
 		}
 	}
+}
+
+// daemonCompile submits the job to a running warpd and adapts its reply
+// to the local result shape (function objects stay in the daemon, so
+// FuncResult.Object is nil and -S prints nothing).
+func daemonCompile(addr, clientID, file string, src []byte, opts compiler.Options, copts core.ParallelOptions) (*compiler.Result, *core.ParallelStats, error) {
+	cl, err := service.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cl.Close()
+	if clientID != "" {
+		cl.SetIdentity(clientID)
+	}
+	resp, err := cl.Compile(context.Background(), file, src, opts, copts)
+	if err != nil {
+		var re *service.RemoteError
+		if errors.As(err, &re) && cluster.CodeOf(re).Retryable() && re.RetryAfter > 0 {
+			return nil, nil, fmt.Errorf("%w (daemon suggests retrying in %v)", re, re.RetryAfter)
+		}
+		return nil, nil, err
+	}
+	res := &compiler.Result{
+		ModuleName: resp.ModuleName,
+		Module:     resp.Module,
+		Driver:     resp.Driver,
+		Warnings:   resp.Warnings,
+	}
+	for _, fs := range resp.Funcs {
+		res.Funcs = append(res.Funcs, &compiler.FuncResult{
+			Name: fs.Name, Section: fs.Section, Lines: fs.Lines, CPUTime: fs.CPUTime,
+		})
+	}
+	if resp.Coalesced {
+		fmt.Fprintln(os.Stderr, "warpcc: job coalesced with an identical in-flight compile")
+	}
+	return res, resp.Stats, nil
+}
+
+// printParallelStatsJSON emits the stats as one JSON object on stderr for
+// machine consumption (CI dashboards, build telemetry). Durations are
+// nanoseconds; an uncomputed rank correlation (NaN) is reported as 0,
+// which JSON cannot carry.
+func printParallelStatsJSON(s *core.ParallelStats) {
+	js := *s
+	if math.IsNaN(js.Dispatch.RankCorr) {
+		js.Dispatch.RankCorr = 0
+	}
+	b, err := json.Marshal(&js)
+	if err != nil {
+		fatal(fmt.Errorf("encoding -stats-json: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, string(b))
 }
 
 // printParallelStats renders the timing breakdown, scheduling decisions,

@@ -35,15 +35,29 @@ const (
 	// (draining for shutdown, chaos-injected unavailability). The request is
 	// idempotent, so another worker may succeed: retryable.
 	CodeUnavailable Code = "unavailable"
+	// CodeOverloaded: the compile service's bounded job queue is full and the
+	// job was shed at admission instead of queueing unboundedly. The reply
+	// carries a suggested backoff; retrying after it may succeed.
+	CodeOverloaded Code = "overloaded"
+	// CodeDraining: the compile service received SIGTERM and refuses new
+	// jobs while finishing accepted ones. Retryable — against the restarted
+	// daemon, or another instance.
+	CodeDraining Code = "draining"
 )
 
 // codePrefix marks coded errors on the wire.
 const codePrefix = "warp-err:"
 
-// codeErr builds an error whose classification survives the net/rpc
-// boundary's string flattening.
-func codeErr(code Code, format string, args ...any) error {
+// Errf builds an error whose classification survives the net/rpc boundary's
+// string flattening (and any other transport that keeps the message text,
+// such as the compile service's wire protocol).
+func Errf(code Code, format string, args ...any) error {
 	return fmt.Errorf("%s%s: %s", codePrefix, code, fmt.Sprintf(format, args...))
+}
+
+// codeErr is the package-internal alias kept for brevity.
+func codeErr(code Code, format string, args ...any) error {
+	return Errf(code, format, args...)
 }
 
 // CodeOf extracts the code from an error that crossed (or will cross) the
@@ -65,8 +79,18 @@ func CodeOf(err error) Code {
 }
 
 // Retryable reports whether a failure with this code may succeed on a
-// different worker.
-func (c Code) Retryable() bool { return c == CodeUnavailable }
+// different worker — or, for service-level codes, on a later attempt.
+func (c Code) Retryable() bool {
+	return c == CodeUnavailable || c == CodeOverloaded || c == CodeDraining
+}
+
+// IsOverloaded reports whether err is a compile service's admission-control
+// rejection.
+func IsOverloaded(err error) bool { return CodeOf(err) == CodeOverloaded }
+
+// IsDraining reports whether err is a compile service's shutting-down
+// refusal.
+func IsDraining(err error) bool { return CodeOf(err) == CodeDraining }
 
 // IsMissingSource reports whether err is a worker's source-not-resident
 // error.

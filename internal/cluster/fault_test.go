@@ -330,6 +330,63 @@ func TestFatalCompileErrorNotRetried(t *testing.T) {
 	}
 }
 
+// TestDrainRefusalNotCountedTowardQuarantine is the regression test for the
+// drain health-record bug: a worker answering drain-coded unavailability
+// (the orderly "I am shutting down" refusal) must not accumulate strikes
+// toward the quarantine threshold. Before the fix, the sequence
+// [unavailable, one transient drop] put two strikes on the worker and
+// quarantined it (QuarantineAfter = 2) even though only one genuine fault
+// ever occurred — so a worker that completed its -grace drain and came back
+// rejoined with a dirty record and was quarantined by the first blip.
+func TestDrainRefusalNotCountedTowardQuarantine(t *testing.T) {
+	noAmbientDiskCache(t)
+	// Script: first call refused drain-coded, second call dropped (one real
+	// transient fault), everything after passes. The chaos worker stays up
+	// throughout, so every re-dial ping succeeds and the worker re-enters
+	// rotation immediately — exactly a drain that finished between the
+	// refusal and the pool's re-dial.
+	srv, addr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(
+		chaos.Fault{Kind: chaos.ErrorReply, Err: "warp-err:unavailable: worker: draining, not accepting new compiles"},
+		chaos.Fault{Kind: chaos.Drop},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	opts := fastOpts()
+	opts.MaxRetries = 5
+	opts.QuarantineAfter = 2
+	pool, err := cluster.DialPoolWith([]string{addr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	r, err := pool.Compile(context.Background(), core.CompileRequest{
+		File: "user.w2", Source: wgen.UserProgram(), Section: 1, Index: 0,
+	})
+	if err != nil {
+		t.Fatalf("compile through drain refusal + drop failed: %v", err)
+	}
+	if r == nil || r.Name == "" {
+		t.Fatal("empty reply")
+	}
+	f := pool.FaultStats()
+	if f.Quarantines != 0 {
+		t.Errorf("drain-coded refusal counted toward quarantine threshold: %s", f)
+	}
+	if f.Retries < 2 {
+		t.Errorf("expected the refusal and the drop to be retried, got %s", f)
+	}
+	if pool.Healthy() != 1 {
+		t.Errorf("healthy = %d, want 1 (worker must rejoin with a clean record)", pool.Healthy())
+	}
+	if f.LocalFallbacks != 0 {
+		t.Errorf("compile fell back locally instead of failing over on the worker: %s", f)
+	}
+}
+
 // TestChaosSeededSoak runs a module through seeded random chaos (drops and
 // delays) and requires the usual word-identical output — reproducible
 // disorder, same answer.

@@ -431,9 +431,19 @@ func (p *RPCPool) release(w *poolWorker) {
 // connection is dropped, and the worker is either re-dialed back into
 // rotation (transient blip) or quarantined (consecutive failures, or
 // unreachable). The caller must not use w afterwards.
+//
+// A drain-coded refusal (CodeUnavailable — the worker answering "I am
+// shutting down cleanly") is an orderly protocol event, not a health
+// failure: it never counts toward the quarantine threshold, so a worker
+// that completes its -grace drain and restarts rejoins with a clean health
+// record instead of one strike from quarantine. The worker still leaves
+// rotation while draining, because the re-dial below pings it and a
+// draining worker answers the ping unavailable.
 func (p *RPCPool) penalize(w *poolWorker, cause error) {
 	w.mu.Lock()
-	w.fails++
+	if CodeOf(cause) != CodeUnavailable {
+		w.fails++
+	}
 	fails := w.fails
 	if w.client != nil {
 		w.client.Close()

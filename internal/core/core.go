@@ -170,10 +170,59 @@ func (s FaultStats) String() string {
 		s.Retries, s.Failovers, s.Quarantines, s.Readmissions, s.LocalFallbacks, s.DeadlineHits, s.BatchSplits)
 }
 
+// Sub subtracts a baseline snapshot from s, scoping the cumulative counters
+// to the interval since the baseline. Warnings are append-only on the
+// backend, so the scoped warnings are the suffix past the baseline's length.
+// With concurrent jobs sharing one backend the attribution is approximate:
+// counters from overlapping jobs land in whichever interval observes them.
+func (s *FaultStats) Sub(base FaultStats) {
+	s.Retries -= base.Retries
+	s.Failovers -= base.Failovers
+	s.Quarantines -= base.Quarantines
+	s.Readmissions -= base.Readmissions
+	s.LocalFallbacks -= base.LocalFallbacks
+	s.DeadlineHits -= base.DeadlineHits
+	s.BatchSplits -= base.BatchSplits
+	if n := len(base.Warnings); n <= len(s.Warnings) {
+		s.Warnings = append([]string(nil), s.Warnings[n:]...)
+	}
+}
+
 // FaultStatser is implemented by backends with a fault-tolerant dispatch
 // layer (cluster.RPCPool).
 type FaultStatser interface {
 	FaultStats() FaultStats
+}
+
+// BackendStatsSnapshot captures a shared backend's cumulative cache and
+// fault counters at one instant. A caller multiplexing many jobs onto one
+// backend (the compile daemon) snapshots before each job and scopes the
+// job's ParallelStats with ScopeToSnapshot afterwards, so per-job stats
+// describe that job's interval instead of the backend's whole lifetime.
+type BackendStatsSnapshot struct {
+	Cache  fcache.Stats
+	Faults FaultStats
+}
+
+// SnapshotBackendStats reads the backend's current cumulative counters
+// (zero values for backends without the corresponding interface).
+func SnapshotBackendStats(b Backend) BackendStatsSnapshot {
+	var snap BackendStatsSnapshot
+	if cs, ok := b.(CacheStatser); ok {
+		snap.Cache = cs.CacheStats()
+	}
+	if fs, ok := b.(FaultStatser); ok {
+		snap.Faults = fs.FaultStats()
+	}
+	return snap
+}
+
+// ScopeToSnapshot rebases the stats' cumulative backend counters (Cache,
+// Faults) onto the given baseline, turning lifetime totals into this job's
+// own activity.
+func (s *ParallelStats) ScopeToSnapshot(base BackendStatsSnapshot) {
+	s.Cache.Sub(base.Cache)
+	s.Faults.Sub(base.Faults)
 }
 
 // RunFunctionMaster executes one compile request in the current process,

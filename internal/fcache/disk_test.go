@@ -205,6 +205,145 @@ func TestDiskSharedDirConcurrent(t *testing.T) {
 	}
 }
 
+// TestDiskSameKeyConcurrentWriters: several caches (several daemon
+// processes sharing one WARP_CACHE_DIR, in effect) racing to persist the
+// very same key must converge on exactly one valid file — entries are
+// deterministic, so last-rename-wins is harmless — with no disk errors.
+func TestDiskSameKeyConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	caches := []*Cache{diskCache(t, dir, 0), diskCache(t, dir, 0), diskCache(t, dir, 0), diskCache(t, dir, 0)}
+
+	var wg sync.WaitGroup
+	for _, c := range caches {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(c *Cache) {
+				defer wg.Done()
+				e, err := c.Object(fh("hot"), "default", func() (*ObjectEntry, error) {
+					return &ObjectEntry{Name: "hot", ObjectBytes: bytes.Repeat([]byte{3}, 64)}, nil
+				})
+				if err != nil || e.Name != "hot" {
+					t.Errorf("Object(hot): %v", err)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+
+	for i, c := range caches {
+		if n := c.Stats().DiskErrors; n != 0 {
+			t.Errorf("cache %d saw %d disk errors under same-key races", i, n)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d files after same-key races, want exactly 1", len(entries))
+	}
+	fresh := diskCache(t, dir, 0)
+	e, ok := fresh.PeekObject(fh("hot"), "default")
+	if !ok || !bytes.Equal(e.ObjectBytes, bytes.Repeat([]byte{3}, 64)) {
+		t.Error("surviving record is missing or wrong")
+	}
+}
+
+// TestDiskEvictionRacesReader: one cache's size-cap eviction removing a
+// file out from under another cache (a co-tenant daemon whose index still
+// lists it) must surface as a plain miss-and-recompile on the reader,
+// never as an error or a wrong artifact.
+func TestDiskEvictionRacesReader(t *testing.T) {
+	dir := t.TempDir()
+	seed := diskCache(t, dir, 0)
+	storeObj(t, seed, "victim", 4<<10)
+
+	// reader opens now, so "victim" is in its scan index but only on disk.
+	reader := diskCache(t, dir, 0)
+
+	// evictor runs under a cap that two new entries will blow; age the
+	// victim's file (and its index entry) so it leaves first.
+	evictor := diskCache(t, dir, 10<<10)
+	entries, _ := os.ReadDir(dir)
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(filepath.Join(dir, entries[0].Name()), past, past)
+	evictor.disk.mu.Lock()
+	f := evictor.disk.files[entries[0].Name()]
+	f.atime = past
+	evictor.disk.files[entries[0].Name()] = f
+	evictor.disk.mu.Unlock()
+	storeObj(t, evictor, "new1", 4<<10)
+	storeObj(t, evictor, "new2", 4<<10)
+	if evictor.Stats().DiskEvictions == 0 {
+		t.Fatal("evictor removed nothing; the race under test never happened")
+	}
+
+	rebuilt := false
+	e, err := reader.Object(fh("victim"), "default", func() (*ObjectEntry, error) {
+		rebuilt = true
+		return &ObjectEntry{Name: "victim"}, nil
+	})
+	if err != nil || e.Name != "victim" {
+		t.Fatalf("Object(victim) after cross-process eviction: %v", err)
+	}
+	if !rebuilt {
+		t.Error("evicted entry was served from nowhere instead of recompiled")
+	}
+	if s := reader.Stats(); s.DiskErrors != 0 {
+		t.Errorf("cross-process eviction counted as %d disk errors, want 0 (plain miss)", s.DiskErrors)
+	}
+	// The rebuild wrote through, so the key is persistent again.
+	if _, ok := diskCache(t, dir, 0).PeekObject(fh("victim"), "default"); !ok {
+		t.Error("rebuilt entry was not re-persisted")
+	}
+}
+
+// TestDiskCorruptRecordSharedDir: with two caches over one directory, the
+// first reader of a corrupted record detects it, deletes it, and rebuilds
+// (write-through); the second then reads the repaired record cleanly.
+func TestDiskCorruptRecordSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	seed := diskCache(t, dir, 0)
+	storeObj(t, seed, "f", 200)
+
+	a, b := diskCache(t, dir, 0), diskCache(t, dir, 0)
+
+	entries, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := false
+	if _, err := a.Object(fh("f"), "default", func() (*ObjectEntry, error) {
+		rebuilt = true
+		return &ObjectEntry{Name: "f", ObjectBytes: bytes.Repeat([]byte{7}, 200)}, nil
+	}); err != nil {
+		t.Fatalf("first reader over corrupt record: %v", err)
+	}
+	if !rebuilt {
+		t.Error("first reader served the corrupt record instead of recompiling")
+	}
+	if s := a.Stats(); s.DiskErrors != 1 {
+		t.Errorf("first reader counted %d disk errors, want 1", s.DiskErrors)
+	}
+
+	got, err := b.Object(fh("f"), "default", func() (*ObjectEntry, error) {
+		return nil, errors.New("second reader must hit the repaired record")
+	})
+	if err != nil {
+		t.Fatalf("second reader after repair: %v", err)
+	}
+	if got.Name != "f" || !bytes.Equal(got.ObjectBytes, bytes.Repeat([]byte{7}, 200)) {
+		t.Error("second reader got a wrong artifact")
+	}
+	if s := b.Stats(); s.DiskErrors != 0 || s.DiskHits != 1 {
+		t.Errorf("second reader stats = %+v, want a clean disk hit", s)
+	}
+}
+
 // TestNewEnvAttachesDiskTier: WARP_CACHE_DIR wires a persistent tier into
 // every pool and worker without code changes.
 func TestNewEnvAttachesDiskTier(t *testing.T) {

@@ -160,6 +160,32 @@ func (s *Stats) Add(o Stats) {
 	s.DiskErrors += o.DiskErrors
 }
 
+// Sub subtracts a baseline snapshot from s, scoping cumulative counters to
+// the interval since the baseline was taken — the compile daemon uses it to
+// attribute one shared backend's counters to individual jobs. Gauges
+// (BytesUsed, BytesMax) describe the present, not an interval, and are kept
+// as-is. With concurrent jobs the attribution is approximate: counters from
+// overlapping jobs land in whichever interval observes them.
+func (s *Stats) Sub(base Stats) {
+	s.FrontendHits -= base.FrontendHits
+	s.FrontendMisses -= base.FrontendMisses
+	s.IRHits -= base.IRHits
+	s.IRMisses -= base.IRMisses
+	s.ObjectHits -= base.ObjectHits
+	s.ObjectMisses -= base.ObjectMisses
+	s.SourceHits -= base.SourceHits
+	s.SourceMisses -= base.SourceMisses
+	s.InflightWaits -= base.InflightWaits
+	s.Evictions -= base.Evictions
+	s.RPCBytesSaved -= base.RPCBytesSaved
+	s.SourcePushes -= base.SourcePushes
+	s.DiskHits -= base.DiskHits
+	s.DiskMisses -= base.DiskMisses
+	s.DiskWrites -= base.DiskWrites
+	s.DiskEvictions -= base.DiskEvictions
+	s.DiskErrors -= base.DiskErrors
+}
+
 func (s Stats) String() string {
 	out := fmt.Sprintf("frontend %d/%d, ir %d/%d, object %d/%d, source %d/%d hit/miss; %d evictions, %d B resident, %d B rpc saved",
 		s.FrontendHits, s.FrontendMisses, s.IRHits, s.IRMisses,

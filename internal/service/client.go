@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+)
+
+// RemoteError is a daemon-side failure delivered over the wire. Msg keeps
+// the warp-err:<code> prefix, so cluster.CodeOf / Retryable classify it,
+// and RetryAfter carries the daemon's suggested backoff for overloaded
+// and draining refusals.
+type RemoteError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Client is one connection to a warpd daemon. Requests on a client are
+// serialized (the wire protocol is one request/response at a time);
+// concurrent jobs should use one Client each — connections are cheap and
+// each maps to its own cancellation scope on the daemon.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	// ident is the fair-share identity sent with each job ("" lets the
+	// daemon fall back to the connection's remote address).
+	ident string
+}
+
+// Dial connects to a daemon. addr is "unix:/path/to.sock", a bare path
+// containing a '/' (also a Unix socket), or a TCP host:port.
+func Dial(addr string) (*Client, error) {
+	network, target := "tcp", addr
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, target = "unix", rest
+	} else if strings.Contains(addr, "/") {
+		network = "unix"
+	}
+	conn, err := net.Dial(network, target)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// SetIdentity sets the fair-share scheduling identity sent with compile
+// jobs (e.g. a build-system name shared by many connections).
+func (c *Client) SetIdentity(id string) { c.ident = id }
+
+// Close severs the connection; the daemon cancels this client's in-flight
+// work and reclaims any tokens it holds.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response. Cancelling ctx
+// closes the connection — the only way to abandon a blocked gob read, and
+// exactly the disconnect signal the daemon turns into job cancellation.
+func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	watchdone := make(chan struct{})
+	defer close(watchdone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.Close()
+		case <-watchdone:
+		}
+	}()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, ctxOr(ctx, fmt.Errorf("service: send: %w", err))
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, ctxOr(ctx, fmt.Errorf("service: receive: %w", err))
+	}
+	if resp.Err != "" {
+		return &resp, &RemoteError{Msg: resp.Err, RetryAfter: resp.RetryAfter}
+	}
+	return &resp, nil
+}
+
+// ctxOr prefers the context's error when the transport failed because the
+// watchdog closed the connection.
+func ctxOr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// Compile submits one module and waits for the linked result. The
+// response carries the module, driver, per-function summaries, and the
+// job-scoped parallel stats; err is a *RemoteError for coded daemon
+// refusals (overloaded, draining, compile).
+func (c *Client) Compile(ctx context.Context, file string, src []byte, opts compiler.Options, popts core.ParallelOptions) (*Response, error) {
+	return c.roundTrip(ctx, &Request{
+		Op: OpCompile, Client: c.ident, File: file, Source: src, Opts: opts, POpts: popts,
+	})
+}
+
+// Acquire borrows n parallelism tokens (n<1 means 1) from the daemon's
+// jobserver bucket; they are returned by Release or reclaimed when the
+// connection closes.
+func (c *Client) Acquire(ctx context.Context, n int) (held int, err error) {
+	resp, err := c.roundTrip(ctx, &Request{Op: OpAcquire, N: n})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Held, nil
+}
+
+// Release returns n previously borrowed tokens.
+func (c *Client) Release(ctx context.Context, n int) (held int, err error) {
+	resp, err := c.roundTrip(ctx, &Request{Op: OpRelease, N: n})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Held, nil
+}
+
+// Stats fetches the daemon's service counters.
+func (c *Client) Stats(ctx context.Context) (*DaemonStats, error) {
+	resp, err := c.roundTrip(ctx, &Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Daemon, nil
+}
+
+// Ping checks daemon liveness; a draining daemon answers a coded
+// draining error.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &Request{Op: OpPing})
+	return err
+}

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// Admitter is the daemon's admission controller: at most maxActive jobs
+// run at once, at most maxQueued wait, and everything past that is shed
+// immediately (the caller answers warp-err:overloaded). Waiting jobs are
+// scheduled fair-share: one FIFO queue per client, served round-robin, so
+// a client flooding the queue delays its own jobs, not its co-tenants'.
+type Admitter struct {
+	mu        sync.Mutex
+	maxActive int
+	maxQueued int
+	active    int
+	queued    int
+	// queues holds each client's waiters in arrival order; rotation is
+	// the round-robin order of clients that currently have waiters, and
+	// next indexes the client to serve first on the next free slot.
+	queues   map[string][]*waiter
+	rotation []string
+	next     int
+
+	// counters
+	admitted  int64
+	shed      int64
+	peakQueue int
+}
+
+// waiter is one queued admission request. grant is buffered so the
+// releasing goroutine can hand over the slot without blocking even if the
+// waiter is concurrently abandoning (the abandoned branch then returns
+// the slot).
+type waiter struct {
+	client string
+	grant  chan struct{}
+}
+
+// NewAdmitter returns an admission controller running at most maxActive
+// jobs with at most maxQueued waiting (values < 1 are treated as 1 and 0).
+func NewAdmitter(maxActive, maxQueued int) *Admitter {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	return &Admitter{
+		maxActive: maxActive,
+		maxQueued: maxQueued,
+		queues:    make(map[string][]*waiter),
+	}
+}
+
+// ErrShed is returned (wrapped in a coded error by the daemon) when the
+// queue is full. Declared as a sentinel so tests can distinguish shedding
+// from context cancellation without string matching.
+var errShed = Errf(codeOverloaded, "admission queue full")
+
+// Acquire admits one job for client, blocking while the daemon is at
+// capacity and the queue has room. It returns nil when admitted (the
+// caller must Release exactly once), errShed when the job was shed at a
+// full queue, or ctx.Err() when the caller gave up while waiting — in
+// which case the queued entry is removed and no Release is owed.
+func (a *Admitter) Acquire(ctx context.Context, client string) error {
+	a.mu.Lock()
+	if a.active < a.maxActive {
+		a.active++
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.maxQueued {
+		a.shed++
+		a.mu.Unlock()
+		return errShed
+	}
+	w := &waiter{client: client, grant: make(chan struct{}, 1)}
+	if len(a.queues[client]) == 0 {
+		a.rotation = append(a.rotation, client)
+	}
+	a.queues[client] = append(a.queues[client], w)
+	a.queued++
+	if a.queued > a.peakQueue {
+		a.peakQueue = a.queued
+	}
+	a.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if a.removeLocked(w) {
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		a.mu.Unlock()
+		// The grant raced the cancellation: the slot is already ours (the
+		// buffered send happened under the releaser's lock). Take it and
+		// give it back so it reaches the next waiter.
+		<-w.grant
+		a.Release()
+		return ctx.Err()
+	}
+}
+
+// Release returns one job's slot. If a waiter is queued, the slot is
+// handed over directly (round-robin across clients); otherwise the active
+// count drops.
+func (a *Admitter) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w := a.popLocked(); w != nil {
+		a.admitted++
+		w.grant <- struct{}{}
+		return
+	}
+	a.active--
+}
+
+// popLocked removes and returns the next waiter in round-robin client
+// order, or nil when none is queued. Caller holds a.mu.
+func (a *Admitter) popLocked() *waiter {
+	if len(a.rotation) == 0 {
+		return nil
+	}
+	if a.next >= len(a.rotation) {
+		a.next = 0
+	}
+	client := a.rotation[a.next]
+	q := a.queues[client]
+	w := q[0]
+	if len(q) == 1 {
+		delete(a.queues, client)
+		a.rotation = append(a.rotation[:a.next], a.rotation[a.next+1:]...)
+		// a.next now points at the following client; wrap handled above.
+	} else {
+		a.queues[client] = q[1:]
+		a.next++ // move past this client so the next pop serves another
+	}
+	a.queued--
+	return w
+}
+
+// removeLocked deletes an abandoned waiter from its client queue. It
+// reports false when the waiter is no longer queued (its grant already
+// fired). Caller holds a.mu.
+func (a *Admitter) removeLocked(target *waiter) bool {
+	q := a.queues[target.client]
+	for i, w := range q {
+		if w != target {
+			continue
+		}
+		if len(q) == 1 {
+			delete(a.queues, target.client)
+			for j, c := range a.rotation {
+				if c == target.client {
+					a.rotation = append(a.rotation[:j], a.rotation[j+1:]...)
+					if j < a.next {
+						a.next--
+					}
+					break
+				}
+			}
+		} else {
+			a.queues[target.client] = append(append([]*waiter(nil), q[:i]...), q[i+1:]...)
+		}
+		a.queued--
+		return true
+	}
+	return false
+}
+
+// Depth reports the current (active, queued) occupancy.
+func (a *Admitter) Depth() (active, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, a.queued
+}
+
+// Counters reports admissions, sheds, and the queue's high-water mark.
+func (a *Admitter) Counters() (admitted, shed int64, peakQueue int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.admitted, a.shed, a.peakQueue
+}

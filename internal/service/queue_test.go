@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// waitDepth polls until the admitter reaches the wanted occupancy.
+func waitDepth(t *testing.T, a *Admitter, wantActive, wantQueued int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		active, queued := a.Depth()
+		if active == wantActive && queued == wantQueued {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admitter depth = (%d,%d), want (%d,%d)", active, queued, wantActive, wantQueued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmitterFairShare: with one slot and a queue holding three jobs from
+// client A and one each from B and C, releases grant round-robin across
+// clients (A,B,C,A,A) — a flooding client delays itself, not co-tenants.
+func TestAdmitterFairShare(t *testing.T) {
+	a := NewAdmitter(1, 10)
+	if err := a.Acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan string)
+	release := make(chan struct{})
+	enqueue := func(client string, queuedAfter int) {
+		go func() {
+			if err := a.Acquire(context.Background(), client); err != nil {
+				t.Error(err)
+				return
+			}
+			admitted <- client
+			<-release
+			a.Release()
+		}()
+		waitDepth(t, a, 1, queuedAfter)
+	}
+	// Arrival order: A, A, A, B, C.
+	enqueue("A", 1)
+	enqueue("A", 2)
+	enqueue("A", 3)
+	enqueue("B", 4)
+	enqueue("C", 5)
+
+	a.Release() // free the held slot; grants chain from here
+	for i, want := range []string{"A", "B", "C", "A", "A"} {
+		got := <-admitted
+		if got != want {
+			t.Fatalf("admission %d went to %s, want %s", i, got, want)
+		}
+		release <- struct{}{}
+	}
+	waitDepth(t, a, 0, 0)
+}
+
+// TestAdmitterShed: a full queue sheds immediately with the coded
+// overloaded error rather than queueing unboundedly.
+func TestAdmitterShed(t *testing.T) {
+	a := NewAdmitter(1, 2)
+	if err := a.Acquire(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		go a.Acquire(context.Background(), "x")
+	}
+	waitDepth(t, a, 1, 2)
+
+	err := a.Acquire(context.Background(), "y")
+	if err == nil {
+		t.Fatal("Acquire past a full queue succeeded, want shed")
+	}
+	if !cluster.IsOverloaded(err) {
+		t.Fatalf("shed error = %v, want code overloaded", err)
+	}
+	if _, shed, _ := a.Counters(); shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+	// Drain so the queued goroutines finish.
+	a.Release()
+	waitDepth(t, a, 1, 1)
+	a.Release()
+	waitDepth(t, a, 1, 0)
+}
+
+// TestAdmitterCancelWhileQueued: a waiter abandoning the queue leaves no
+// residue — its slot is never granted and later releases stay balanced.
+func TestAdmitterCancelWhileQueued(t *testing.T) {
+	a := NewAdmitter(1, 4)
+	if err := a.Acquire(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.Acquire(ctx, "y") }()
+	waitDepth(t, a, 1, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+	waitDepth(t, a, 1, 0)
+	a.Release()
+	waitDepth(t, a, 0, 0)
+	// The freed slot must be immediately acquirable.
+	if err := a.Acquire(context.Background(), "z"); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+// TestBucketFIFOAndReclaim: tokens hand off to the longest waiter, and
+// Reclaim balances the books exactly like Release while counting
+// separately.
+func TestBucketFIFOAndReclaim(t *testing.T) {
+	b := NewBucket(1)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if b.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on an empty bucket")
+	}
+	got := make(chan int)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			if err := b.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			got <- i
+		}()
+		// Wait until this waiter is queued so arrival order is fixed.
+		deadline := time.Now().Add(2 * time.Second)
+		for b.Stats().Waits != int64(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.Release()
+	if first := <-got; first != 0 {
+		t.Fatalf("first grant went to waiter %d, want 0", first)
+	}
+	b.Reclaim()
+	if second := <-got; second != 1 {
+		t.Fatalf("second grant went to waiter %d, want 1", second)
+	}
+	b.Release()
+	s := b.Stats()
+	if s.Outstanding != 0 || s.Reclaimed != 1 || s.Released != 2 {
+		t.Errorf("stats = %+v, want outstanding 0, reclaimed 1, released 2", s)
+	}
+}
+
+// TestBucketCancelWhileWaiting: a waiter abandoning the bucket loses no
+// token, even when the grant races the cancellation.
+func TestBucketCancelWhileWaiting(t *testing.T) {
+	b := NewBucket(1)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- b.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().Waits != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+	b.Release()
+	if n := b.Outstanding(); n != 0 {
+		t.Fatalf("outstanding = %d after balanced release, want 0", n)
+	}
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// TokenStats snapshots the parallelism bucket: Capacity tokens exist in
+// total, Outstanding are currently held (by running jobs or by wire
+// clients), Acquired/Released/Reclaimed count lifecycle events. After a
+// full drain Outstanding must be zero — the no-leak invariant the chaos
+// soak asserts.
+type TokenStats struct {
+	Capacity    int
+	Outstanding int
+	Acquired    int64
+	Released    int64
+	// Reclaimed counts tokens taken back from a connection that closed
+	// (client crash or disconnect) while still holding them.
+	Reclaimed int64
+	// Waits counts acquisitions that had to queue behind an empty bucket.
+	Waits int64
+}
+
+// Bucket is the jobserver-style parallelism bound: a fixed pool of
+// capacity tokens. Every running compile job holds one for its duration;
+// wire clients may borrow tokens explicitly (OpAcquire/OpRelease) to
+// bound the daemon's parallelism from outside, exactly as make's
+// jobserver pipe bounds a GCC -fparallel-jobs build. FIFO handoff: a
+// released token goes to the longest waiter.
+type Bucket struct {
+	mu      sync.Mutex
+	cap     int
+	avail   int
+	waiters []chan struct{}
+	stats   TokenStats
+}
+
+// NewBucket returns a bucket of n tokens (n < 1 is treated as 1).
+func NewBucket(n int) *Bucket {
+	if n < 1 {
+		n = 1
+	}
+	return &Bucket{cap: n, avail: n, stats: TokenStats{Capacity: n}}
+}
+
+// Capacity returns the total token count.
+func (b *Bucket) Capacity() int { return b.cap }
+
+// Acquire takes one token, blocking until one is free or ctx is done. On
+// ctx expiry no token is held and none is lost, even when the grant races
+// the cancellation.
+func (b *Bucket) Acquire(ctx context.Context) error {
+	b.mu.Lock()
+	if b.avail > 0 {
+		b.avail--
+		b.stats.Acquired++
+		b.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{}, 1)
+	b.waiters = append(b.waiters, ch)
+	b.stats.Waits++
+	b.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		for i, w := range b.waiters {
+			if w == ch {
+				b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+				b.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		b.mu.Unlock()
+		// The handoff raced the cancellation: the buffered send already
+		// happened under the releaser's lock. Take the token and return it.
+		<-ch
+		b.Release()
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a token only if one is free right now.
+func (b *Bucket) TryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.avail == 0 {
+		return false
+	}
+	b.avail--
+	b.stats.Acquired++
+	return true
+}
+
+// Release returns one token, handing it to the longest waiter if any.
+func (b *Bucket) Release() { b.put(false) }
+
+// Reclaim returns a token on behalf of a connection that died while
+// holding it — same effect as Release, counted separately so leak
+// accounting can distinguish orderly returns from crash recovery.
+func (b *Bucket) Reclaim() { b.put(true) }
+
+func (b *Bucket) put(reclaimed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if reclaimed {
+		b.stats.Reclaimed++
+	} else {
+		b.stats.Released++
+	}
+	if len(b.waiters) > 0 {
+		ch := b.waiters[0]
+		b.waiters = b.waiters[1:]
+		b.stats.Acquired++
+		ch <- struct{}{}
+		return
+	}
+	if b.avail == b.cap {
+		panic("service: token bucket over-released")
+	}
+	b.avail++
+}
+
+// Outstanding reports how many tokens are currently held.
+func (b *Bucket) Outstanding() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cap - b.avail
+}
+
+// Stats snapshots the bucket's counters.
+func (b *Bucket) Stats() TokenStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.Outstanding = b.cap - b.avail
+	return s
+}
