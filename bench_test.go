@@ -539,3 +539,48 @@ func BenchmarkPipelinedCompile(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStealDispatch measures the work-stealing fleet against the static
+// per-section LPT plan on the stealer's target workload: one section dense
+// with heavy functions while every other section master has nearly nothing —
+// the static plan strands the light sections' workers while section 1's
+// queue drains alone, and the shared fleet lets them steal into it. Pools
+// are uncached so every iteration is a genuine cold build. The metrics
+// decompose where the remaining wall time goes (per-worker idle,
+// steal latency, splits); on a single-CPU host the two modes converge to
+// the core-bound parity ceiling documented in BENCH_steal.json.
+func BenchmarkStealDispatch(b *testing.B) {
+	src := wgen.SkewedProgram(4, 10)
+	for _, mode := range []struct {
+		name  string
+		popts core.ParallelOptions
+	}{
+		{"static-lpt", core.ParallelOptions{NoSteal: true}},
+		{"steal", core.ParallelOptions{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			pool := cluster.NewLocalPoolWith(4, nil)
+			b.ResetTimer()
+			var stats *core.ParallelStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, stats, err = core.ParallelCompileWith("bench.w2", src, pool, compiler.Options{}, mode.popts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stats.CompileWallTime.Nanoseconds()), "compile_wall_ns")
+			if mode.popts.NoSteal {
+				return
+			}
+			b.ReportMetric(float64(stats.Steal.Steals), "steals")
+			b.ReportMetric(float64(stats.Steal.BatchSplits), "batch_splits")
+			b.ReportMetric(float64(stats.Steal.StealLatency.Nanoseconds()), "steal_latency_ns")
+			var idle int64
+			for _, d := range stats.Steal.IdleTime {
+				idle += d.Nanoseconds()
+			}
+			b.ReportMetric(float64(idle), "idle_total_ns")
+		})
+	}
+}

@@ -13,6 +13,7 @@
 //	-j N                  worker count for -mode par (default 4)
 //	-workers host:port,.. worker addresses for -mode rpc
 //	-sched fcfs|lpt       dispatch ordering (default lpt: cost-model + batching)
+//	-no-steal             static per-section dispatch instead of work stealing
 //	-batch-threshold C    estimated-cost cutoff for batching (0 disables)
 //	-barrier              strictly phased master (baseline) instead of the pipeline
 //	-fe-sequential        sequential frontend instead of the parallel one
@@ -73,6 +74,7 @@ func main() {
 		clientID   = flag.String("client", "", "fair-share identity sent to the daemon (default: the connection address)")
 
 		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
+		noSteal        = flag.Bool("no-steal", false, "disable the global work-stealing scheduler (static per-section dispatch, the measured baseline)")
 		batchThreshold = flag.Float64("batch-threshold", core.DefaultBatchThreshold, "estimated-cost cutoff below which functions are batched (0 disables batching)")
 		barrier        = flag.Bool("barrier", false, "use the paper's strictly phased master (frontend, fork, barrier, link) instead of the overlapped pipeline")
 		feSequential   = flag.Bool("fe-sequential", false, "use the sequential frontend for the master's phase-1 leg instead of the span-sliced parallel frontend")
@@ -105,6 +107,7 @@ func main() {
 		Barrier:            *barrier,
 		FrontendSequential: *feSequential,
 		FrontendWorkers:    *feWorkers,
+		NoSteal:            *noSteal,
 	}
 	switch *schedName {
 	case "fcfs":
@@ -307,6 +310,12 @@ func printParallelStatsJSON(s *core.ParallelStats) {
 	if math.IsNaN(js.Dispatch.RankCorr) {
 		js.Dispatch.RankCorr = 0
 	}
+	if math.IsNaN(js.Steal.FittedRankCorr) {
+		js.Steal.FittedRankCorr = 0
+	}
+	if math.IsNaN(js.Steal.StaticRankCorr) {
+		js.Steal.StaticRankCorr = 0
+	}
 	b, err := json.Marshal(&js)
 	if err != nil {
 		fatal(fmt.Errorf("encoding -stats-json: %w", err))
@@ -337,6 +346,22 @@ func printParallelStats(s *core.ParallelStats) {
 	}
 	fmt.Printf("schedule: policy=%s threshold=%.0f units=%d batches=%d batched-funcs=%d%s\n",
 		d.Policy, d.BatchThreshold, d.Units, d.Batches, d.BatchedFuncs, rankCorr)
+	if st := s.Steal; st.Enabled {
+		fit := "static"
+		if st.ModelFitted {
+			fit = fmt.Sprintf("fitted(%d samples)", st.SampleCount)
+		}
+		corr := "" // meaningless below 3 measured functions (NaN): omitted
+		if !math.IsNaN(st.FittedRankCorr) && !math.IsNaN(st.StaticRankCorr) {
+			corr = fmt.Sprintf(" rank-corr fitted=%.2f static=%.2f", st.FittedRankCorr, st.StaticRankCorr)
+		}
+		var idle time.Duration
+		for _, d := range st.IdleTime {
+			idle += d
+		}
+		fmt.Printf("steal: steals=%d batch-splits=%d steal-latency=%v idle-total=%v model=%s%s\n",
+			st.Steals, st.BatchSplits, st.StealLatency.Round(1000), idle.Round(1000), fit, corr)
+	}
 	fmt.Printf("incremental: unchanged=%d worker-hits=%d recompiled=%d recompile-ratio=%.2f\n",
 		d.UnchangedFuncs, d.IncrementalHits, d.RecompiledFuncs, d.RecompileRatio)
 	fmt.Printf("cache: %s\n", s.Cache)

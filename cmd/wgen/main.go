@@ -9,6 +9,7 @@
 //	wgen -kind user                        # the §4.3 user program
 //	wgen -kind mixed -n 12                 # 1 huge + 12 tiny (straggler workload)
 //	wgen -kind wide -n 32 -sections 4      # 32 medium functions over 4 sections
+//	wgen -kind skewed -n 12 -sections 4    # heavy section 1 + 3 tiny sections
 //	wgen -small-funcs 32                   # 32 tiny functions (worst case)
 //
 // With -edit K, wgen additionally mutates K function bodies of the generated
@@ -28,10 +29,10 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "sn", "workload kind: sn, sections, user, mixed (1 huge + n tiny stragglers), or wide (n same-sized medium functions over -sections sections)")
+	kind := flag.String("kind", "sn", "workload kind: sn, sections, user, mixed (1 huge + n tiny stragglers), wide (n same-sized medium functions over -sections sections), or skewed (n heavy functions in section 1, every other section tiny)")
 	sizeName := flag.String("size", "medium", "function size: tiny, small, medium, large, huge")
-	n := flag.Int("n", 1, "number of functions (sn, mixed, wide) or sections (sections)")
-	sections := flag.Int("sections", 1, "number of sections for -kind wide")
+	n := flag.Int("n", 1, "number of functions (sn, mixed, wide, skewed) or sections (sections)")
+	sections := flag.Int("sections", 1, "number of sections for -kind wide and skewed")
 	smallFuncs := flag.Int("small-funcs", 0, "emit a module of N tiny functions (the paper's worst case); overrides -kind")
 	edit := flag.Int("edit", 0, "mutate K function bodies and write an old/new source pair (-old, -new)")
 	seed := flag.Uint64("seed", 1, "mutation seed for -edit")
@@ -73,6 +74,8 @@ func main() {
 		out = wgen.MixedProgram(*n)
 	case "wide":
 		out = wgen.WideProgram(*n, *sections)
+	case "skewed":
+		out = wgen.SkewedProgram(*sections, *n)
 	default:
 		fmt.Fprintf(os.Stderr, "wgen: unknown kind %q\n", *kind)
 		os.Exit(2)

@@ -1,0 +1,88 @@
+package cluster_test
+
+// Work-stealing over real RPC workers: the shared fleet drives both pool
+// kinds, and mid-steal worker failures fall into the existing retry/failover
+// machinery — output stays word-identical to sequential throughout.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
+	"repro/internal/core"
+	"repro/internal/wgen"
+)
+
+// TestStealRPCSkewedParity runs the stealer's target workload — one heavy
+// section and several near-empty ones — through real RPC workers with the
+// production defaults (stealing on): idle section masters' slots must be able
+// to take the heavy section's queued work, and the output must stay
+// word-identical.
+func TestStealRPCSkewedParity(t *testing.T) {
+	noAmbientDiskCache(t)
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		ln, addr, err := cluster.ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs = append(addrs, addr)
+	}
+	pool, err := cluster.DialPoolWith(addrs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	stats := compileBothWith(t, "skew.w2", wgen.SkewedProgram(4, 8), pool, core.ParallelOptions{})
+	if !stats.Steal.Enabled {
+		t.Error("default options must dispatch through the stealer")
+	}
+	if len(stats.Steal.IdleTime) != 4 {
+		t.Errorf("idle decomposition has %d slots, want 4", len(stats.Steal.IdleTime))
+	}
+}
+
+// TestStealLocalPoolSkewedParity covers the in-process pool on the same
+// workload (the fleet is shared infrastructure, not an RPC feature).
+func TestStealLocalPoolSkewedParity(t *testing.T) {
+	pool := cluster.NewLocalPool(4)
+	stats := compileBothWith(t, "skew.w2", wgen.SkewedProgram(4, 8), pool, core.ParallelOptions{})
+	if !stats.Steal.Enabled {
+		t.Error("default options must dispatch through the stealer")
+	}
+}
+
+// TestStealChaosWorkerDiesMidSteal is the stealing chaos run: every worker
+// drops its first connection, so units — including stolen fragments already
+// rebalanced onto other slots — fail mid-flight and must retry or split
+// through the fault layer. The build must converge word-identical with the
+// recovery visible in the fault stats.
+func TestStealChaosWorkerDiesMidSteal(t *testing.T) {
+	noAmbientDiskCache(t)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, addr, err := chaos.Serve("127.0.0.1:0", 0, chaos.Script(chaos.Fault{Kind: chaos.Drop}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, addr)
+	}
+	opts := fastOpts()
+	opts.MaxRetries = 8
+	pool, err := cluster.DialPoolWith(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	stats := compileBothWith(t, "skew.w2", wgen.SkewedProgram(3, 6), pool, core.ParallelOptions{})
+	if !stats.Steal.Enabled {
+		t.Error("chaos run must still dispatch through the stealer")
+	}
+	if f := stats.Faults; f.Retries == 0 && f.BatchSplits == 0 && f.Failovers == 0 {
+		t.Errorf("every worker dropped a connection; expected recovery activity, got %s", f)
+	}
+}

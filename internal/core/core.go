@@ -351,6 +351,10 @@ type SectionResult struct {
 	WorkerHits int
 	// Warnings are all function masters' warnings in declaration order.
 	Warnings []string
+	// Samples are the observed (shape → seconds) cost samples this section
+	// collected from replies that genuinely ran phases 2+3 — cache hits
+	// never ran and would teach the estimator that their shape is free.
+	Samples []sched.CostSample
 }
 
 // SchedPolicy selects the dispatch-ordering strategy.
@@ -396,6 +400,11 @@ type ParallelOptions struct {
 	// FrontendWorkers bounds the parallel frontend's fan-out; <1 means
 	// GOMAXPROCS. Ignored under FrontendSequential.
 	FrontendWorkers int
+	// NoSteal disables the global work-stealing scheduler and reverts to the
+	// static per-section dispatch (one goroutine per planned unit, FCFS
+	// arbitration at the backend). It exists as the measured baseline for
+	// stealing, the way Barrier is the baseline for the pipeline.
+	NoSteal bool
 }
 
 // normalized resolves the zero-value defaults.
@@ -449,6 +458,39 @@ type DispatchStats struct {
 	IncrementalHits int
 	RecompiledFuncs int
 	RecompileRatio  float64
+}
+
+// StealStats reports the global work-stealing scheduler's activity during
+// one compilation, plus how the self-tuning cost model performed against the
+// static formula. All zero (Enabled=false) under ParallelOptions.NoSteal.
+type StealStats struct {
+	// Enabled reports that the work-stealing fleet dispatched this build.
+	Enabled bool
+	// Steals counts steal operations (an idle slot taking queued work from
+	// another slot); BatchSplits the subset that cracked a queued
+	// multi-function batch open mid-flight because the victim had nothing
+	// else to give.
+	Steals      int
+	BatchSplits int
+	// StealLatency totals the time thieving slots spent between running dry
+	// and acquiring stolen work.
+	StealLatency time.Duration
+	// IdleTime decomposes starvation per dispatch slot: total time each
+	// slot spent parked with no work anywhere — the straggler overhead the
+	// stealer exists to shrink.
+	IdleTime []time.Duration
+	// ModelFitted reports that the cost model was fitted from persisted
+	// samples (false on a cold cache or when the fit failed its guards);
+	// SampleCount is the size of the persisted window the fit ran over.
+	ModelFitted bool
+	SampleCount int
+	// FittedRankCorr and StaticRankCorr are the Spearman rank correlations
+	// of the fitted and static cost models against this build's measured
+	// per-function CPU times (NaN below 3 measured functions, omitted from
+	// -stats). The fit guard keeps FittedRankCorr ≥ StaticRankCorr on the
+	// recorded sample window.
+	FittedRankCorr float64
+	StaticRankCorr float64
 }
 
 // PipelineStats records how much of the master's sequential head and tail
@@ -505,6 +547,9 @@ type ParallelStats struct {
 	Warnings int
 	// Dispatch summarizes scheduling decisions and estimator accuracy.
 	Dispatch DispatchStats
+	// Steal reports the work-stealing scheduler's rebalancing activity and
+	// the self-tuning cost model's performance.
+	Steal StealStats
 	// Pipeline reports the overlap won by the pipelined master (all zero
 	// under ParallelOptions.Barrier).
 	Pipeline PipelineStats
@@ -613,6 +658,28 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 		masterCache = cp.Cache()
 	}
 
+	// The self-tuning cost model: fit against the persisted sample window
+	// (empty without a disk tier — then Fit returns the static formula).
+	// Fitting is guarded: fewer than 3 samples, a degenerate system, or a
+	// fit that ranks the window worse than the static formula all keep the
+	// paper's heuristic.
+	persisted := masterCache.CostSamples()
+	model := sched.Fit(persisted)
+	stats.Steal.ModelFitted = model.Fitted
+	stats.Steal.SampleCount = len(persisted)
+
+	// The work-stealing fleet: one set of dispatch slots shared by every
+	// section master, sized to the backend, so a straggler section's queue
+	// is drained by its siblings' idle slots instead of waiting on its own.
+	// Registered before cancel() so the deferred LIFO runs cancel first:
+	// whatever is still queued when we unwind drains as immediate no-ops.
+	var stealer *sched.Stealer
+	if !popts.NoSteal {
+		stealer = sched.NewStealer(backend.Workers())
+		defer stealer.Close()
+		stats.Steal.Enabled = true
+	}
+
 	// The pipeline context: the first fatal error — or the caller's own
 	// cancellation — severs every other in-flight leg through it. The
 	// frontend leg is the exception: it answers to the caller's context
@@ -647,7 +714,7 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 		regionStart = time.Now()
 		for i, so := range outline.Sections {
 			go func(i int, so parser.SectionOutline) {
-				r, err := runSectionMaster(ctx, file, src, srcHash, so, backend, masterCache, opts, popts)
+				r, err := runSectionMaster(ctx, file, src, srcHash, so, backend, masterCache, model, stealer, opts, popts)
 				secCh <- sectionDone{pos: i, res: r, err: err}
 			}(i, so)
 		}
@@ -789,8 +856,10 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 	// the process boundary.
 	var funcResults []*compiler.FuncResult
 	var warnings []string
+	var observed []sched.CostSample
 	warnings = append(warnings, compiler.FrontendWarnings(m, bag, nil)...)
 	for _, r := range secResults {
+		observed = append(observed, r.Samples...)
 		stats.SectionCPU[r.Section] = r.MasterTime
 		stats.DispatchTime += r.PlanTime
 		stats.Dispatch.Units += r.Units
@@ -814,6 +883,27 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 	}
 	stats.Warnings = len(warnings)
 	stats.Dispatch.RankCorr = estimatorAccuracy(outline, stats.FuncCPU)
+	stats.Steal.StaticRankCorr = stats.Dispatch.RankCorr
+	stats.Steal.FittedRankCorr = estimatorAccuracyModel(outline, stats.FuncCPU, model)
+	if stealer != nil {
+		// All sections combined: the fleet is dry. Retire it now (Close is
+		// idempotent with the deferred one) and wait the slots out, so the
+		// idle-time decomposition ends at the last unit rather than
+		// accumulating through the link tail.
+		stealer.Close()
+		stealer.Wait()
+		ss := stealer.Stats()
+		stats.Steal.Steals = ss.Steals
+		stats.Steal.BatchSplits = ss.BatchSplits
+		stats.Steal.StealLatency = ss.StealLatency
+		stats.Steal.IdleTime = ss.IdleTime
+	}
+	// Feed the estimator's loop: append this build's observations to the
+	// persisted window (PutCostSamples trims it and is a no-op without a
+	// disk tier). Failures are ignored — samples are a scheduling hint.
+	if len(observed) > 0 && masterCache != nil {
+		_ = masterCache.PutCostSamples(append(persisted, observed...))
+	}
 	if total := outline.NumFunctions(); total > 0 {
 		stats.Dispatch.RecompiledFuncs = total - stats.Dispatch.UnchangedFuncs - stats.Dispatch.IncrementalHits
 		stats.Dispatch.RecompileRatio = float64(stats.Dispatch.RecompiledFuncs) / float64(total)
@@ -894,6 +984,13 @@ func sectionObjects(r *SectionResult) []*asm.Object {
 // is meaningless noise (always ±1 for 1–2 points), so it is reported as NaN
 // and omitted from the stats output.
 func estimatorAccuracy(o *parser.Outline, funcCPU map[string]time.Duration) float64 {
+	return estimatorAccuracyModel(o, funcCPU, sched.StaticModel())
+}
+
+// estimatorAccuracyModel is estimatorAccuracy under an arbitrary cost model
+// — the fitted and static models are scored against the same measured times
+// to report the before/after-fit correlation.
+func estimatorAccuracyModel(o *parser.Outline, funcCPU map[string]time.Duration, m sched.Model) float64 {
 	var predicted, actual []float64
 	for _, so := range o.Sections {
 		for _, fo := range so.Functions {
@@ -901,7 +998,7 @@ func estimatorAccuracy(o *parser.Outline, funcCPU map[string]time.Duration) floa
 			if !ok || cpu <= 0 {
 				continue
 			}
-			predicted = append(predicted, sched.EstimateCost(sched.Task{Lines: fo.Lines, LoopDepth: fo.LoopDepth}))
+			predicted = append(predicted, m.Estimate(sched.Task{Lines: fo.Lines, LoopDepth: fo.LoopDepth}))
 			actual = append(actual, cpu.Seconds())
 		}
 	}
@@ -931,7 +1028,13 @@ type unitDone struct {
 // tier with each function's incremental hash: unchanged functions are
 // answered on the spot and never reach sched.Plan, so the cost model only
 // schedules the functions that genuinely need compiling.
-func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
+//
+// With a non-nil stealer the planned units feed the shared work-stealing
+// fleet instead of private per-unit goroutines: execution order is whatever
+// steals make it, unit boundaries may change mid-flight (a steal can crack a
+// queued batch open), and the combine loop therefore counts remaining
+// *tasks*, not units. Emission stays keyed by declaration index either way.
+func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, model sched.Model, stealer *sched.Stealer, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
 	t0 := time.Now()
 	res := &SectionResult{
 		Section: so.Index,
@@ -960,7 +1063,7 @@ func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcac
 			LoopDepth: fo.LoopDepth,
 		})
 	}
-	units := sched.Plan(tasks, popts.planThreshold(), backend.Workers())
+	units := sched.PlanCosted(model.Costs(tasks), popts.planThreshold(), backend.Workers())
 	res.Units = len(units)
 	for _, u := range units {
 		if u.IsBatch() {
@@ -1012,22 +1115,32 @@ func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcac
 		return replies, nil
 	}
 
-	// The channel is buffered to len(units) so dispatcher goroutines never
-	// block on send: an early error return leaks no goroutines.
-	done := make(chan unitDone, len(units))
-	for _, u := range units {
-		go func(u sched.Unit) {
-			replies, err := dispatch(u)
-			done <- unitDone{unit: u, replies: replies, err: err}
-		}(u)
+	// The channel is buffered to len(tasks) so deliveries never block on
+	// send: an early error return leaks no goroutines. Tasks, not units,
+	// bound the count — a steal can split one planned unit into several
+	// delivered fragments, but every fragment carries at least one task.
+	done := make(chan unitDone, len(tasks))
+	deliver := func(u sched.Unit) {
+		replies, err := dispatch(u)
+		done <- unitDone{unit: u, replies: replies, err: err}
+	}
+	if stealer != nil {
+		stealer.Submit(units, deliver)
+	} else {
+		for _, u := range units {
+			go deliver(u)
+		}
 	}
 
 	// Streaming combine: decode each object the moment its reply lands.
 	// Slots are keyed by declaration index, so any request/reply skew —
 	// wrong count, wrong name, duplicate index — is a hard error, never a
-	// silently zeroed field.
-	for range units {
+	// silently zeroed field. The loop runs until every *task* is accounted
+	// for: under stealing the number of delivered units is not known up
+	// front (splits), only the task total is.
+	for pending := len(tasks); pending > 0; {
 		d := <-done
+		pending -= len(d.unit.Tasks)
 		if d.err != nil {
 			return nil, d.err
 		}
@@ -1060,6 +1173,13 @@ func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcac
 			res.CPUTime += r.CPUTime
 			if r.CacheHit {
 				res.WorkerHits++
+			} else if r.CPUTime > 0 {
+				res.Samples = append(res.Samples, sched.CostSample{
+					Lines:     t.Lines,
+					LoopDepth: t.LoopDepth,
+					Section:   t.Section,
+					Seconds:   r.CPUTime.Seconds(),
+				})
 			}
 		}
 	}

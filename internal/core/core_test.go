@@ -203,17 +203,21 @@ func TestParallelPoliciesMatchSequential(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
+	// NoSteal pins the static dispatch path: this suite asserts planned
+	// units map 1:1 onto backend calls, which a mid-flight steal split
+	// deliberately breaks. The stealing path has its own parity suite
+	// (steal_test.go).
 	cases := []struct {
 		name        string
 		popts       ParallelOptions
 		wantBatches bool // at least one multi-function unit planned
 		wantUnits   int  // exact unit count; 0 = don't check
 	}{
-		{"fcfs", ParallelOptions{Sched: SchedFCFS}, false, 16},
-		{"lpt-default", ParallelOptions{Sched: SchedLPT}, true, 0},
-		{"lpt-no-batch", ParallelOptions{Sched: SchedLPT, BatchThreshold: -1}, false, 16},
-		{"lpt-huge-threshold", ParallelOptions{Sched: SchedLPT, BatchThreshold: 1e9}, true, 0},
-		{"zero-value-defaults", ParallelOptions{}, true, 0},
+		{"fcfs", ParallelOptions{Sched: SchedFCFS, NoSteal: true}, false, 16},
+		{"lpt-default", ParallelOptions{Sched: SchedLPT, NoSteal: true}, true, 0},
+		{"lpt-no-batch", ParallelOptions{Sched: SchedLPT, BatchThreshold: -1, NoSteal: true}, false, 16},
+		{"lpt-huge-threshold", ParallelOptions{Sched: SchedLPT, BatchThreshold: 1e9, NoSteal: true}, true, 0},
+		{"static-dispatch-defaults", ParallelOptions{NoSteal: true}, true, 0},
 	}
 	backends := []struct {
 		name string

@@ -1,0 +1,115 @@
+package fcache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sched"
+)
+
+// Cost-sample persistence: the scheduler's observed (function shape →
+// measured seconds) samples live in the disk tier's directory as one record,
+// so the self-tuning cost model survives restarts alongside the objects it
+// schedules. The file reuses the object tier's checksummed diskRecord framing
+// but is named outside the o-*.wfc namespace, so the tier's scan, index, and
+// LRU eviction never touch it: eviction pressure on objects cannot throw the
+// estimator's memory away.
+const (
+	costSamplesFile = "cost-samples.wfc"
+	costSamplesKey  = "cost-samples/v1"
+)
+
+// CostSampleWindow bounds how many samples persist: enough to cover several
+// large modules, small enough that the fit stays responsive to drift.
+const CostSampleWindow = 512
+
+// CostSamples loads the persisted cost-sample window. It returns nil when no
+// disk tier is attached, the record does not exist yet, or the record is
+// corrupt — a corrupt record is deleted and counted in Stats.DiskErrors, and
+// the caller falls back to the static cost model. Cache trouble must never
+// fail a compilation, so there is no error return.
+func (c *Cache) CostSamples() []sched.CostSample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	path := filepath.Join(d.dir, costSamplesFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // no samples recorded yet
+	}
+	corrupt := func() []sched.CostSample {
+		os.Remove(path)
+		c.mu.Lock()
+		c.stats.DiskErrors++
+		c.mu.Unlock()
+		return nil
+	}
+	var rec diskRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return corrupt()
+	}
+	if rec.Key != costSamplesKey || rec.Sum != recordSum(rec.Key, rec.Payload) {
+		return corrupt()
+	}
+	var samples []sched.CostSample
+	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&samples); err != nil {
+		return corrupt()
+	}
+	return samples
+}
+
+// PutCostSamples persists the sample window (truncated to the most recent
+// CostSampleWindow entries), replacing any previous record via the disk
+// tier's tmp+rename protocol so readers only ever observe complete records.
+// A nil cache or one without a disk tier is a silent no-op: samples are a
+// scheduling hint, not a correctness artifact.
+func (c *Cache) PutCostSamples(samples []sched.CostSample) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	if len(samples) > CostSampleWindow {
+		samples = samples[len(samples)-CostSampleWindow:]
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(samples); err != nil {
+		return err
+	}
+	rec := diskRecord{Key: costSamplesKey, Payload: payload.Bytes()}
+	rec.Sum = recordSum(rec.Key, rec.Payload)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, costSamplesFile)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -88,8 +88,8 @@ func (h *loadHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h =
 // packLPT distributes costed tasks over nbins bins with the
 // longest-processing-time-first greedy rule, assigning each task to the
 // least-loaded bin. The input must already be cost-descending.
-func packLPT(ordered []Costed, nbins int) ([][]Task, []float64) {
-	bins := make([][]Task, nbins)
+func packLPT(ordered []Costed, nbins int) ([][]Costed, []float64) {
+	bins := make([][]Costed, nbins)
 	costs := make([]float64, nbins)
 	h := make(loadHeap, nbins)
 	for i := range h {
@@ -98,7 +98,7 @@ func packLPT(ordered []Costed, nbins int) ([][]Task, []float64) {
 	heap.Init(&h)
 	for _, c := range ordered {
 		p := heap.Pop(&h).(procLoad)
-		bins[p.index] = append(bins[p.index], c.Task)
+		bins[p.index] = append(bins[p.index], c)
 		costs[p.index] += c.Cost
 		p.load += c.Cost
 		heap.Push(&h, p)
@@ -121,7 +121,13 @@ func Group(tasks []Task, nproc int) [][]Task {
 	}
 	ordered := Costs(tasks)
 	sortByCostDesc(ordered)
-	groups, _ := packLPT(ordered, nproc)
+	bins, _ := packLPT(ordered, nproc)
+	groups := make([][]Task, len(bins))
+	for i, b := range bins {
+		for _, c := range b {
+			groups[i] = append(groups[i], c.Task)
+		}
+	}
 	return groups
 }
 
@@ -148,11 +154,63 @@ func Makespan(groups [][]Task) float64 {
 // per-request overhead over all of them.
 type Unit struct {
 	Tasks []Task
-	Cost  float64 // summed estimated cost
+	Cost  float64   // summed estimated cost
+	Costs []float64 // per-task costs, parallel to Tasks (may be nil on hand-built units)
 }
 
 // IsBatch reports whether the unit packs more than one function.
 func (u Unit) IsBatch() bool { return len(u.Tasks) > 1 }
+
+// taskCosts returns per-task costs for the unit, falling back to the static
+// estimator when the unit was built by hand without them.
+func (u Unit) taskCosts() []float64 {
+	if len(u.Costs) == len(u.Tasks) {
+		return u.Costs
+	}
+	cs := make([]float64, len(u.Tasks))
+	for i, t := range u.Tasks {
+		cs[i] = EstimateCost(t)
+	}
+	return cs
+}
+
+// SplitUnit cracks a multi-task unit open for a thief: the victim keeps a
+// front slice worth roughly half the estimated cost and the thief takes the
+// rest. Singleton units cannot split (ok=false, keep=u). Both halves are
+// fresh slices — the original unit is not aliased.
+func SplitUnit(u Unit) (keep, stolen Unit, ok bool) {
+	if len(u.Tasks) < 2 {
+		return u, Unit{}, false
+	}
+	costs := u.taskCosts()
+	total := 0.0
+	for _, c := range costs {
+		total += c
+	}
+	cut, acc := 0, 0.0
+	for i, c := range costs {
+		acc += c
+		cut = i + 1
+		if acc >= total/2 {
+			break
+		}
+	}
+	if cut >= len(u.Tasks) {
+		cut = len(u.Tasks) - 1
+		acc = total - costs[len(costs)-1]
+	}
+	keep = Unit{
+		Tasks: append([]Task(nil), u.Tasks[:cut]...),
+		Costs: append([]float64(nil), costs[:cut]...),
+		Cost:  acc,
+	}
+	stolen = Unit{
+		Tasks: append([]Task(nil), u.Tasks[cut:]...),
+		Costs: append([]float64(nil), costs[cut:]...),
+		Cost:  total - acc,
+	}
+	return keep, stolen, true
+}
 
 // Plan builds the size-aware dispatch schedule for one set of tasks over
 // nproc processors.
@@ -169,18 +227,24 @@ func (u Unit) IsBatch() bool { return len(u.Tasks) > 1 }
 //     Units come back cost-descending, so large functions dispatch first
 //     and no batch ever trails a longer compile.
 func Plan(tasks []Task, threshold float64, nproc int) []Unit {
+	return PlanCosted(Costs(tasks), threshold, nproc)
+}
+
+// PlanCosted is Plan over tasks whose costs are already evaluated — the
+// estimator (static or fitted) runs exactly once per task, never again per
+// comparison or per unit.
+func PlanCosted(costed []Costed, threshold float64, nproc int) []Unit {
 	if nproc < 1 {
 		nproc = 1
 	}
 	if threshold == 0 {
-		units := make([]Unit, len(tasks))
-		for i, t := range tasks {
-			units[i] = Unit{Tasks: []Task{t}, Cost: EstimateCost(t)}
+		units := make([]Unit, len(costed))
+		for i, c := range costed {
+			units[i] = Unit{Tasks: []Task{c.Task}, Cost: c.Cost, Costs: []float64{c.Cost}}
 		}
 		return units
 	}
 
-	costed := Costs(tasks)
 	var large, small []Costed
 	if threshold < 0 {
 		large = costed
@@ -196,7 +260,7 @@ func Plan(tasks []Task, threshold float64, nproc int) []Unit {
 
 	units := make([]Unit, 0, len(large)+nproc)
 	for _, c := range large {
-		units = append(units, Unit{Tasks: []Task{c.Task}, Cost: c.Cost})
+		units = append(units, Unit{Tasks: []Task{c.Task}, Cost: c.Cost, Costs: []float64{c.Cost}})
 	}
 
 	if len(small) > 0 {
@@ -229,7 +293,12 @@ func Plan(tasks []Task, threshold float64, nproc int) []Unit {
 			if len(b) == 0 {
 				continue
 			}
-			units = append(units, Unit{Tasks: b, Cost: costs[i]})
+			u := Unit{Cost: costs[i]}
+			for _, c := range b {
+				u.Tasks = append(u.Tasks, c.Task)
+				u.Costs = append(u.Costs, c.Cost)
+			}
+			units = append(units, u)
 		}
 	}
 

@@ -1,0 +1,235 @@
+// Work-stealing run queue: one fleet of dispatch slots shared by every
+// section master, replacing the static per-section plans. Each slot owns a
+// deque seeded LPT-style (cost-descending, least-loaded slot first); owners
+// pop expensive units from the front, and an idle slot steals the back half
+// of the most-loaded victim's queue. When a victim is down to one queued
+// multi-function batch, the thief cracks it open with SplitUnit — mid-flight
+// rebalancing that a static plan cannot do. Stealing only reorders
+// *execution*; result emission stays keyed by declaration index upstream, so
+// output is word-identical to sequential at every worker count.
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StealStats counts the stealer's rebalancing activity.
+type StealStats struct {
+	// Steals counts steal operations (an idle slot taking work from a
+	// victim's deque); BatchSplits the subset that cracked a queued
+	// multi-function unit open because the victim had nothing else.
+	Steals      int
+	BatchSplits int
+	// StealLatency totals the time thieves spent between running dry and
+	// acquiring stolen work.
+	StealLatency time.Duration
+	// IdleTime is each slot's total time parked with no work anywhere in
+	// the system — the straggler regime the stealer exists to shrink.
+	IdleTime []time.Duration
+}
+
+// stealItem pairs a queued unit with its submitter's dispatch closure, so
+// one fleet can serve many section masters at once.
+type stealItem struct {
+	unit Unit
+	run  func(Unit)
+}
+
+// Stealer is the shared work-stealing scheduler. Units are submitted per
+// section (Submit) and executed by a fixed fleet of slot goroutines; every
+// submitted unit's run closure is invoked exactly once per resulting
+// fragment (splits cover the unit's tasks exactly). Close drains what is
+// left and retires the fleet.
+//
+// The deques share one mutex: dispatch units are whole compile RPCs
+// (milliseconds at minimum), so queue operations are never the bottleneck
+// and the flat locking keeps split/steal atomicity trivial.
+type Stealer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]stealItem
+	loads  []float64 // summed queued cost per slot
+	closed bool
+	stats  StealStats
+	wg     sync.WaitGroup
+}
+
+// NewStealer starts a fleet of nslots slot goroutines (clamped to ≥1).
+func NewStealer(nslots int) *Stealer {
+	if nslots < 1 {
+		nslots = 1
+	}
+	s := &Stealer{
+		deques: make([][]stealItem, nslots),
+		loads:  make([]float64, nslots),
+	}
+	s.stats.IdleTime = make([]time.Duration, nslots)
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(nslots)
+	for i := 0; i < nslots; i++ {
+		go s.slot(i)
+	}
+	return s
+}
+
+// Submit seeds the units onto the fleet's deques LPT-style: cost-descending,
+// each to the currently least-loaded slot, so the initial placement matches
+// the static plan's balance and stealing only has to fix what the estimator
+// got wrong. run is invoked once per unit (or per split fragment); closures
+// from different sections interleave freely on the shared fleet.
+//
+// Submitting to a closed stealer runs the units synchronously in the
+// caller's goroutine — late work is never dropped and never hangs.
+func (s *Stealer) Submit(units []Unit, run func(Unit)) {
+	ordered := append([]Unit(nil), units...)
+	sortUnitsByCostDesc(ordered)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for _, u := range ordered {
+			run(u)
+		}
+		return
+	}
+	for _, u := range ordered {
+		least := 0
+		for j := 1; j < len(s.loads); j++ {
+			if s.loads[j] < s.loads[least] {
+				least = j
+			}
+		}
+		s.deques[least] = append(s.deques[least], stealItem{unit: u, run: run})
+		s.loads[least] += u.Cost
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Stats snapshots the stealer's counters.
+func (s *Stealer) Stats() StealStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.IdleTime = append([]time.Duration(nil), s.stats.IdleTime...)
+	return out
+}
+
+// Close retires the fleet without blocking: slots finish their in-flight
+// units, drain whatever is still queued (under a cancelled context those
+// runs return immediately), and exit. Wait blocks until they have.
+func (s *Stealer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Wait blocks until every slot goroutine has exited (Close must have been
+// called, or Wait never returns).
+func (s *Stealer) Wait() {
+	s.wg.Wait()
+}
+
+// slot is one fleet goroutine: pop own work from the front, steal when dry,
+// park when the whole system is dry.
+func (s *Stealer) slot(id int) {
+	defer s.wg.Done()
+	for {
+		it, ok := s.next(id)
+		if !ok {
+			return
+		}
+		it.run(it.unit)
+	}
+}
+
+// next returns the slot's next unit: its own deque's front, else the back
+// half of the most-loaded victim's deque, else it parks until Submit or
+// Close wakes it.
+func (s *Stealer) next(id int) (stealItem, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var drySince time.Time // set the first time this call finds its own deque empty
+	for {
+		if len(s.deques[id]) > 0 {
+			it := s.deques[id][0]
+			s.deques[id] = s.deques[id][1:]
+			s.loads[id] -= it.unit.Cost
+			return it, true
+		}
+		if victim := s.victim(id); victim >= 0 {
+			if drySince.IsZero() {
+				drySince = time.Now()
+			}
+			it := s.steal(id, victim)
+			s.stats.StealLatency += time.Since(drySince)
+			return it, true
+		}
+		if s.closed {
+			return stealItem{}, false
+		}
+		t := time.Now()
+		s.cond.Wait()
+		s.stats.IdleTime[id] += time.Since(t)
+		if drySince.IsZero() {
+			drySince = t
+		}
+	}
+}
+
+// victim picks the most-loaded other slot with queued work (-1 when the
+// system is dry). Caller holds mu.
+func (s *Stealer) victim(id int) int {
+	v := -1
+	for j := range s.deques {
+		if j == id || len(s.deques[j]) == 0 {
+			continue
+		}
+		if v < 0 || s.loads[j] > s.loads[v] {
+			v = j
+		}
+	}
+	return v
+}
+
+// steal takes work from the victim for slot id and returns the item to run
+// now. With two or more queued items the thief takes the back half (the
+// cheap end — the victim keeps the expensive front it was about to serve).
+// With exactly one queued multi-function unit, the thief cracks it open:
+// the victim's queued unit shrinks to the front half and the thief runs the
+// rest. A lone singleton just moves. Caller holds mu.
+func (s *Stealer) steal(id, victim int) stealItem {
+	q := s.deques[victim]
+	s.stats.Steals++
+	if len(q) == 1 {
+		it := q[0]
+		if keep, stolen, ok := SplitUnit(it.unit); ok {
+			s.deques[victim][0] = stealItem{unit: keep, run: it.run}
+			s.loads[victim] -= stolen.Cost
+			s.stats.BatchSplits++
+			return stealItem{unit: stolen, run: it.run}
+		}
+		s.deques[victim] = nil
+		s.loads[victim] = 0
+		return it
+	}
+	half := len(q) / 2
+	taken := q[len(q)-half:]
+	s.deques[victim] = q[:len(q)-half]
+	for _, it := range taken {
+		s.loads[victim] -= it.unit.Cost
+	}
+	// Run the first stolen item now; queue the rest on our own deque.
+	for _, it := range taken[1:] {
+		s.deques[id] = append(s.deques[id], it)
+		s.loads[id] += it.unit.Cost
+	}
+	return taken[0]
+}
+
+// sortUnitsByCostDesc stable-sorts units largest-first (LPT seeding order).
+func sortUnitsByCostDesc(us []Unit) {
+	sort.SliceStable(us, func(i, j int) bool { return us[i].Cost > us[j].Cost })
+}

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func costedUnit(cost float64, names ...string) Unit {
+	u := Unit{Cost: cost * float64(len(names))}
+	for _, n := range names {
+		u.Tasks = append(u.Tasks, Task{Name: n, Lines: int(cost)})
+		u.Costs = append(u.Costs, cost)
+	}
+	return u
+}
+
+func TestSplitUnitCoversTasksExactly(t *testing.T) {
+	u := costedUnit(10, "a", "b", "c", "d", "e")
+	keep, stolen, ok := SplitUnit(u)
+	if !ok {
+		t.Fatal("5-task unit must split")
+	}
+	if len(keep.Tasks) == 0 || len(stolen.Tasks) == 0 {
+		t.Fatalf("both halves must be non-empty: %d/%d", len(keep.Tasks), len(stolen.Tasks))
+	}
+	if len(keep.Tasks)+len(stolen.Tasks) != len(u.Tasks) {
+		t.Fatalf("split lost tasks: %d + %d != %d", len(keep.Tasks), len(stolen.Tasks), len(u.Tasks))
+	}
+	got := map[string]bool{}
+	for _, task := range append(append([]Task{}, keep.Tasks...), stolen.Tasks...) {
+		if got[task.Name] {
+			t.Fatalf("task %s duplicated by split", task.Name)
+		}
+		got[task.Name] = true
+	}
+	if diff := keep.Cost + stolen.Cost - u.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("split costs %g + %g != %g", keep.Cost, stolen.Cost, u.Cost)
+	}
+	if len(keep.Costs) != len(keep.Tasks) || len(stolen.Costs) != len(stolen.Tasks) {
+		t.Error("per-task costs must stay parallel to tasks")
+	}
+}
+
+func TestSplitUnitSingletonRefuses(t *testing.T) {
+	u := costedUnit(10, "only")
+	keep, _, ok := SplitUnit(u)
+	if ok {
+		t.Fatal("singleton must not split")
+	}
+	if len(keep.Tasks) != 1 || keep.Tasks[0].Name != "only" {
+		t.Fatalf("refusing split must return the unit unchanged: %+v", keep)
+	}
+}
+
+func TestSplitUnitWithoutCostsFallsBack(t *testing.T) {
+	// Hand-built units may lack per-task costs; the split estimates them.
+	u := Unit{Tasks: []Task{{Name: "a", Lines: 100}, {Name: "b", Lines: 10}}}
+	keep, stolen, ok := SplitUnit(u)
+	if !ok || len(keep.Tasks) != 1 || len(stolen.Tasks) != 1 {
+		t.Fatalf("2-task unit must split 1/1, got %d/%d ok=%v", len(keep.Tasks), len(stolen.Tasks), ok)
+	}
+}
+
+// TestStealerRunsEveryTaskExactlyOnce floods a small fleet from several
+// concurrent submitters (as section masters do) and checks every task of
+// every unit executes exactly once, regardless of how steals rearrange them.
+func TestStealerRunsEveryTaskExactlyOnce(t *testing.T) {
+	s := NewStealer(4)
+	defer s.Close()
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	total := 0
+	// Deliveries may exceed the number of submitted units when steals split
+	// batches, so completion is tracked per task, not per run call.
+	for sec := 0; sec < 3; sec++ {
+		var units []Unit
+		for i := 0; i < 5; i++ {
+			names := []string{}
+			for k := 0; k <= i; k++ {
+				names = append(names, string(rune('a'+sec))+string(rune('0'+i))+string(rune('a'+k)))
+			}
+			units = append(units, costedUnit(float64(10+i), names...))
+			total += len(names)
+		}
+		s.Submit(units, func(u Unit) {
+			mu.Lock()
+			for _, task := range u.Tasks {
+				seen[task.Name]++
+			}
+			mu.Unlock()
+		})
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		mu.Lock()
+		n := 0
+		for _, c := range seen {
+			n += c
+		}
+		mu.Unlock()
+		if n >= total {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("timed out: executed %d of %d tasks", n, total)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("distinct tasks executed = %d, want %d", len(seen), total)
+	}
+	for name, c := range seen {
+		if c != 1 {
+			t.Errorf("task %s executed %d times", name, c)
+		}
+	}
+}
+
+// TestStealerCracksQueuedBatchOpen pins the mid-flight split. One Submit
+// carries two long blockers and a 4-function batch; LPT seeding (cost-desc
+// onto the least-loaded slot) deterministically lands blocker A on slot 0
+// and blocker B plus the queued batch on slot 1. Releasing A frees slot 0,
+// whose own deque is empty — it must steal slot 1's lone queued batch by
+// cracking it open rather than idling behind the victim.
+func TestStealerCracksQueuedBatchOpen(t *testing.T) {
+	s := NewStealer(2)
+	defer s.Close()
+
+	release := map[string]chan struct{}{
+		"blockA": make(chan struct{}),
+		"blockB": make(chan struct{}),
+	}
+	started := make(chan string, 2)
+	var mu sync.Mutex
+	var runs [][]string
+	ran := make(chan struct{}, 8)
+	units := []Unit{
+		costedUnit(100, "blockA"),              // slot 0
+		costedUnit(90, "blockB"),               // slot 1
+		costedUnit(10, "b1", "b2", "b3", "b4"), // queued on slot 1 (load 90 < 100)
+	}
+	s.Submit(units, func(u Unit) {
+		if ch, blocking := release[u.Tasks[0].Name]; blocking {
+			started <- u.Tasks[0].Name
+			<-ch
+			return
+		}
+		mu.Lock()
+		names := []string{}
+		for _, task := range u.Tasks {
+			names = append(names, task.Name)
+		}
+		runs = append(runs, names)
+		mu.Unlock()
+		ran <- struct{}{}
+	})
+	<-started
+	<-started // both slots now parked inside their blockers
+
+	close(release["blockA"]) // free slot 0: it must steal-split the queued batch
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("freed slot never ran any part of the queued batch")
+	}
+	st := s.Stats()
+	if st.Steals < 1 || st.BatchSplits < 1 {
+		t.Fatalf("expected the steal to crack the batch open: %+v", st)
+	}
+
+	close(release["blockB"]) // free the victim: it runs the kept fragment
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := 0
+		for _, r := range runs {
+			n += len(r)
+		}
+		mu.Unlock()
+		if n == 4 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("batch tasks executed = %d, want 4 (runs: %v)", n, runs)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(runs) < 2 {
+		t.Errorf("split batch should arrive as >= 2 fragments, got %v", runs)
+	}
+}
+
+// TestStealerParallelismOnSleepingUnits checks the fleet genuinely overlaps
+// units: 8 sleeping units on 4 slots must finish in roughly two rounds, not
+// eight (sleeps overlap even on one CPU).
+func TestStealerParallelismOnSleepingUnits(t *testing.T) {
+	s := NewStealer(4)
+	defer s.Close()
+	const d = 30 * time.Millisecond
+	var units []Unit
+	for i := 0; i < 8; i++ {
+		units = append(units, costedUnit(10, string(rune('a'+i))))
+	}
+	var mu sync.Mutex
+	n := 0
+	done := make(chan struct{})
+	start := time.Now()
+	s.Submit(units, func(u Unit) {
+		time.Sleep(d)
+		mu.Lock()
+		n++
+		if n == 8 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	<-done
+	if elapsed := time.Since(start); elapsed > 6*d {
+		t.Errorf("8 sleeping units on 4 slots took %v, want ~2 rounds of %v", elapsed, d)
+	}
+}
+
+// TestStealerSubmitAfterCloseRunsSynchronously: late work is never dropped.
+func TestStealerSubmitAfterCloseRunsSynchronously(t *testing.T) {
+	s := NewStealer(2)
+	s.Close()
+	s.Wait()
+	ran := 0
+	s.Submit([]Unit{costedUnit(1, "x"), costedUnit(1, "y")}, func(u Unit) { ran += len(u.Tasks) })
+	if ran != 2 {
+		t.Fatalf("submit after close ran %d tasks synchronously, want 2", ran)
+	}
+}
+
+// TestStealerIdleTimeAccounting: a fleet that waits records idle time on the
+// starved slots.
+func TestStealerIdleTimeAccounting(t *testing.T) {
+	s := NewStealer(2)
+	time.Sleep(20 * time.Millisecond) // both slots parked with nothing to do
+	s.Close()
+	s.Wait()
+	st := s.Stats()
+	if len(st.IdleTime) != 2 {
+		t.Fatalf("idle decomposition must be per-slot: %v", st.IdleTime)
+	}
+	for i, d := range st.IdleTime {
+		if d <= 0 {
+			t.Errorf("slot %d recorded no idle time", i)
+		}
+	}
+}

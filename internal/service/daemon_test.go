@@ -479,3 +479,33 @@ func TestDaemonUnixSocket(t *testing.T) {
 		t.Fatal("compile over unix socket returned no module")
 	}
 }
+
+// TestDaemonStealStatsInJobSnapshot: the work-stealing counters travel the
+// wire inside each job's stats snapshot, and the NoSteal escape hatch in the
+// submitted ParallelOptions is honored per job.
+func TestDaemonStealStatsInJobSnapshot(t *testing.T) {
+	noAmbientDiskCache(t)
+	_, addr := startDaemon(t, Config{})
+	cl := dialT(t, addr)
+
+	resp, err := cl.Compile(context.Background(), "skew.w2", wgen.SkewedProgram(3, 5),
+		compiler.Options{}, core.ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil || !resp.Stats.Steal.Enabled {
+		t.Fatalf("job snapshot must report stealing dispatch: %+v", resp.Stats)
+	}
+	if len(resp.Stats.Steal.IdleTime) == 0 {
+		t.Error("per-slot idle decomposition missing from the job snapshot")
+	}
+
+	off, err := cl.Compile(context.Background(), "skew2.w2", wgen.SkewedProgram(2, 4),
+		compiler.Options{}, core.ParallelOptions{NoSteal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.Steal.Enabled {
+		t.Error("NoSteal submitted over the wire must pin static dispatch")
+	}
+}

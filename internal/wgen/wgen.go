@@ -465,6 +465,48 @@ func WideProgram(nfuncs, nsections int) []byte {
 	return []byte(sb.String())
 }
 
+// SkewedProgram builds the straggler-section workload: nsections sections
+// where section 1 holds the bulk of the compile cost — nHeavy small
+// functions (20–60 lines, cycling deterministically) plus its forwarding
+// entry — while every other section is a single tiny forwarding entry. Under
+// a static per-section plan the heavy section's worker queue drags while the
+// tiny sections' finish instantly: exactly the regime where a global
+// work-stealing scheduler lets the idle slots drain the straggler's queue
+// (and crack its batches open). Function sizes stay small enough that the
+// heavy section's combined code fits a cell's 16K-word store.
+func SkewedProgram(nsections, nHeavy int) []byte {
+	if nsections < 2 {
+		nsections = 2
+	}
+	if nHeavy < 4 {
+		nHeavy = 4
+	}
+	if nHeavy > 15 {
+		nHeavy = 15
+	}
+	lineCounts := []int{35, 60, 20, 45, 25, 55, 30, 40}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module skew%dx%d (out ys: float[%d])\n\n", nHeavy, nsections, nsections)
+	emit := func(fn string) {
+		for _, line := range strings.Split(strings.TrimRight(fn, "\n"), "\n") {
+			sb.WriteString("    " + line + "\n")
+		}
+	}
+	sb.WriteString(fmt.Sprintf("section 1 of %d {\n", nsections))
+	for i := 1; i <= nHeavy; i++ {
+		emit(sizedFunction(fmt.Sprintf("heavy_%d", i), lineCounts[(i-1)%len(lineCounts)], uint64(i)*15485863))
+	}
+	emit(forwardingFunction("heavy_entry", Small, 15485863, 0))
+	sb.WriteString("}\n")
+	for s := 2; s <= nsections; s++ {
+		sb.WriteString("\n")
+		fmt.Fprintf(&sb, "section %d of %d {\n", s, nsections)
+		emit(forwardingFunction(fmt.Sprintf("lite_%d", s), Tiny, uint64(s)*32452843, s-1))
+		sb.WriteString("}\n")
+	}
+	return []byte(sb.String())
+}
+
 // UserProgram reproduces the structure of §4.3's mechanical-engineering
 // application: three section programs with three functions each. Per
 // section, two small functions (5–45 lines, the paper's 2–6 minute
