@@ -18,6 +18,7 @@
 //	-barrier              strictly phased master (baseline) instead of the pipeline
 //	-fe-sequential        sequential frontend instead of the parallel one
 //	-fe-workers N         parallel-frontend worker bound (0 = GOMAXPROCS)
+//	-peers a,b            peer-cache addresses to fetch finished objects from
 //	-call-timeout D       per-RPC deadline for -mode rpc (0 disables)
 //	-max-retries N        failover attempts per request for -mode rpc
 //	-dial-retry D         readmission probe period for quarantined workers
@@ -51,6 +52,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/peercache"
 	"repro/internal/service"
 	"repro/internal/warpsim"
 )
@@ -68,6 +70,7 @@ func main() {
 		noSched    = flag.Bool("no-sched", false, "disable instruction scheduling")
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
 		cacheDir   = flag.String("cache-dir", "", "disk-backed object cache directory for par/rpc modes (persists across runs; overrides WARP_CACHE_DIR)")
+		peersCSV   = flag.String("peers", "", "comma-separated peer-cache addresses (workers or daemons) to batch-prefetch finished objects from before dispatch")
 		showStats  = flag.Bool("stats", false, "print per-function statistics")
 		statsJSON  = flag.Bool("stats-json", false, "emit the parallel-compilation stats as one JSON object on stderr (durations in nanoseconds; rank-corr 0 when not computed)")
 		daemonAddr = flag.String("daemon", "", "compile via a running warpd daemon at this address (unix:/path or host:port) instead of -mode")
@@ -121,6 +124,11 @@ func main() {
 		copts.BatchThreshold = -1 // the flag's 0 means "no batching"
 	}
 
+	var peerAddrs []string
+	if *peersCSV != "" {
+		peerAddrs = strings.Split(*peersCSV, ",")
+	}
+
 	var res *compiler.Result
 	var pstats *core.ParallelStats
 	switch {
@@ -142,6 +150,12 @@ func main() {
 					fatal(fmt.Errorf("opening -cache-dir %s: %w", *cacheDir, derr))
 				}
 			}
+			if len(peerAddrs) > 0 {
+				pc := peercache.New(peercache.ClientOptions{})
+				pc.Connect(peerAddrs...)
+				defer pc.Close()
+				pool.Cache().AttachPeers(pc)
+			}
 		}
 		res, pstats, err = core.ParallelCompileWith(file, src, pool, opts, copts)
 	case *mode == "rpc":
@@ -154,6 +168,7 @@ func main() {
 			DialRetry:       *dialRetry,
 			DisableFallback: *noFallback,
 			CacheDir:        *cacheDir,
+			Peers:           peerAddrs,
 		}
 		if *callTimeout == 0 {
 			popts.CallTimeout = -1
@@ -364,6 +379,10 @@ func printParallelStats(s *core.ParallelStats) {
 	}
 	fmt.Printf("incremental: unchanged=%d worker-hits=%d recompiled=%d recompile-ratio=%.2f\n",
 		d.UnchangedFuncs, d.IncrementalHits, d.RecompiledFuncs, d.RecompileRatio)
+	if c := s.Cache; c.PeerHits+c.PeerMisses+c.PeerErrors+c.PeerPrefetched+c.PeerServed > 0 {
+		fmt.Printf("peer: hits=%d misses=%d errors=%d filled-bytes=%d prefetched=%d served=%d\n",
+			c.PeerHits, c.PeerMisses, c.PeerErrors, c.PeerBytes, c.PeerPrefetched, c.PeerServed)
+	}
 	fmt.Printf("cache: %s\n", s.Cache)
 	if s.Faults.Any() {
 		fmt.Printf("faults: %s\n", s.Faults)

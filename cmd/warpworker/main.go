@@ -8,6 +8,13 @@
 // against the same module source skip parsing, checking, and lowering, and
 // masters can send a 32-byte hash instead of the whole source.
 //
+// Every cached worker also serves the peer-cache protocol on its listener
+// ("who has hash H?" / "fetch H" — internal/peercache), so its address
+// doubles as a peer address. With -peers naming sibling workers or daemons,
+// the worker fetches finished objects from the fleet before recompiling:
+// a cold restart syncs 32-byte keys and pulls artifacts instead of
+// recompiling the world.
+//
 // On SIGINT/SIGTERM the worker shuts down gracefully: it stops accepting
 // connections, refuses new compiles (clients fail over to other workers),
 // drains in-flight compiles for up to the grace period, then exits 0 — so
@@ -15,7 +22,7 @@
 //
 // Usage:
 //
-//	warpworker [-addr host:port] [-jobs N] [-cache-mb N] [-cache-dir DIR] [-grace D]
+//	warpworker [-addr host:port] [-jobs N] [-cache-mb N] [-cache-dir DIR] [-peers a,b] [-grace D]
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,6 +43,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent compiles; excess requests queue (1 = the paper's single-CPU workstation)")
 	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default, negative = disable caching)")
 	cacheDir := flag.String("cache-dir", "", "persistent object cache directory (survives restarts; overrides WARP_CACHE_DIR)")
+	peers := flag.String("peers", "", "comma-separated peer addresses (other workers/daemons) to fetch finished objects from before recompiling")
 	grace := flag.Duration("grace", 10*time.Second, "drain period for in-flight compiles on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -42,12 +51,20 @@ func main() {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	srv, err := cluster.NewWorkerServerJobs(*addr, cacheBytes, *cacheDir, *jobs)
+	var peerAddrs []string
+	if *peers != "" {
+		peerAddrs = strings.Split(*peers, ",")
+	}
+	srv, err := cluster.NewWorkerServerPeers(*addr, cacheBytes, *cacheDir, *jobs, peerAddrs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "warpworker:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("warpworker: serving compile requests on %s (%d concurrent jobs)\n", srv.Addr(), *jobs)
+	if len(peerAddrs) > 0 {
+		fmt.Printf("warpworker: serving compile requests on %s (%d concurrent jobs, %d peers)\n", srv.Addr(), *jobs, len(peerAddrs))
+	} else {
+		fmt.Printf("warpworker: serving compile requests on %s (%d concurrent jobs)\n", srv.Addr(), *jobs)
+	}
 
 	// Serve until asked to stop, then drain.
 	sig := make(chan os.Signal, 1)

@@ -18,6 +18,12 @@
 // edited function names go to stderr.
 //
 //	wgen -kind sn -size medium -n 8 -edit 1 -seed 7 -old base.w2 -new edit.w2
+//
+// Determinism: generator output is a pure function of the flags. The same
+// -kind/-size/-n/-sections/-small-funcs always emit byte-identical source —
+// there is no hidden randomness, so generated programs are safe to use as
+// content-addressed cache keys across machines and runs. -seed affects only
+// which functions -edit mutates and how; it never changes the base program.
 package main
 
 import (
@@ -35,7 +41,7 @@ func main() {
 	sections := flag.Int("sections", 1, "number of sections for -kind wide and skewed")
 	smallFuncs := flag.Int("small-funcs", 0, "emit a module of N tiny functions (the paper's worst case); overrides -kind")
 	edit := flag.Int("edit", 0, "mutate K function bodies and write an old/new source pair (-old, -new)")
-	seed := flag.Uint64("seed", 1, "mutation seed for -edit")
+	seed := flag.Uint64("seed", 1, "mutation seed for -edit; base generator output depends only on -kind/-size/-n/-sections (byte-identical across runs), -seed varies only the -edit mutations")
 	oldFile := flag.String("old", "", "file for the unedited source when -edit > 0")
 	newFile := flag.String("new", "", "file for the edited source when -edit > 0")
 	flag.Parse()

@@ -37,6 +37,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/fcache"
+	"repro/internal/peercache"
 )
 
 // LocalPool runs function masters on a fixed number of in-process workers
@@ -226,9 +227,10 @@ func (w *Worker) Compile(req core.CompileRequest, reply *core.CompileReply) erro
 		if !ok {
 			// The source is not resident, but a hash-only request can still
 			// be answered entirely from the object tier (in warm runs the
-			// disk tier makes this the common case for a fresh worker) — the
-			// incremental fast path needs no source at all.
-			if e, hit := compiler.LookupObject(w.cache, req.FuncHash, req.Opts); hit {
+			// disk tier makes this the common case for a fresh worker) or
+			// fetched from a peer that already compiled it — the incremental
+			// fast path needs no source at all.
+			if e, hit := compiler.LookupObjectAnywhere(w.cache, req.FuncHash, req.Opts); hit {
 				*reply = *core.ReplyFromEntry(e, 0, true)
 				return nil
 			}
@@ -293,12 +295,13 @@ func (w *Worker) CompileBatch(req core.BatchRequest, reply *BatchReply) error {
 }
 
 // batchFromCache tries to answer every item of a batch from the object
-// tier. It reports all=false as soon as one item misses (the caller then
-// demands the source and compiles normally).
+// tier — local tiers first, then peers. It reports all=false as soon as one
+// item misses everywhere (the caller then demands the source and compiles
+// normally).
 func (w *Worker) batchFromCache(req *core.BatchRequest) (replies []core.CompileReply, all bool) {
 	replies = make([]core.CompileReply, len(req.Items))
 	for i, it := range req.Items {
-		e, hit := compiler.LookupObject(w.cache, it.FuncHash, req.Opts)
+		e, hit := compiler.LookupObjectAnywhere(w.cache, it.FuncHash, req.Opts)
 		if !hit {
 			return nil, false
 		}
@@ -382,11 +385,16 @@ func (l *workerListener) Close() error {
 
 // WorkerServer is a serving worker with a lifecycle: Close kills it the way
 // a workstation crash would, Shutdown drains it the way an operator's
-// SIGTERM should.
+// SIGTERM should. Every cached worker also answers the peer-cache protocol
+// ("Peer" service, internal/peercache) on the same listener, so its address
+// doubles as its peer address; workers started with peer addresses
+// additionally fetch from those siblings before recompiling.
 type WorkerServer struct {
-	wl     *workerListener
-	worker *Worker
-	addr   string
+	wl         *workerListener
+	worker     *Worker
+	addr       string
+	peerSvc    *peercache.Service
+	peerClient *peercache.Peers
 }
 
 // NewWorkerServer listens on addr (e.g. "127.0.0.1:0") and serves compile
@@ -409,6 +417,17 @@ func NewWorkerServerDir(addr string, cacheBytes int64, dir string) (*WorkerServe
 // (jobs < 1 is treated as 1). cmd/warpworker exposes it as -jobs, defaulting
 // to the machine's CPU count.
 func NewWorkerServerJobs(addr string, cacheBytes int64, dir string, jobs int) (*WorkerServer, error) {
+	return NewWorkerServerPeers(addr, cacheBytes, dir, jobs, nil)
+}
+
+// NewWorkerServerPeers is NewWorkerServerJobs joined to a peer fleet: the
+// worker's cache fetches finished objects from the given peer addresses
+// (other workers' or daemons' peer listeners) before recompiling, and its
+// own address is gossiped to them so the mesh converges. An empty peers
+// list still serves the peer protocol — other processes may fetch from this
+// worker — it just fetches from nobody. cmd/warpworker exposes it as
+// -peers.
+func NewWorkerServerPeers(addr string, cacheBytes int64, dir string, jobs int, peers []string) (*WorkerServer, error) {
 	w := NewWorkerJobs(cacheBytes, jobs)
 	if dir != "" {
 		if w.cache == nil {
@@ -418,19 +437,43 @@ func NewWorkerServerJobs(addr string, cacheBytes int64, dir string, jobs int) (*
 			return nil, err
 		}
 	}
-	return serveWorker(addr, w)
+	return serveWorkerPeers(addr, w, peers)
 }
 
 func serveWorker(addr string, w *Worker) (*WorkerServer, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", w); err != nil {
-		return nil, err
-	}
+	return serveWorkerPeers(addr, w, nil)
+}
+
+func serveWorkerPeers(addr string, w *Worker, peers []string) (*WorkerServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	bound := ln.Addr().String()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	ws := &WorkerServer{worker: w, addr: bound}
+	if w.cache != nil {
+		// The peer service shares the worker's listener: the worker address
+		// is the peer address. It answers from local tiers only, so a fetch
+		// can never recurse back out to the fleet.
+		ws.peerSvc = peercache.NewService(w.cache, bound, nil)
+		if err := srv.RegisterName(peercache.ServiceName, ws.peerSvc); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if len(peers) > 0 {
+			ws.peerSvc.AddPeers(peers)
+			ws.peerClient = peercache.New(peercache.ClientOptions{Self: bound})
+			ws.peerClient.Connect(peers...)
+			w.cache.AttachPeers(ws.peerClient)
+		}
+	}
 	wl := &workerListener{Listener: ln, conns: make(map[net.Conn]struct{})}
+	ws.wl = wl
 	go func() {
 		for {
 			conn, err := wl.Accept()
@@ -444,7 +487,7 @@ func serveWorker(addr string, w *Worker) (*WorkerServer, error) {
 			}()
 		}
 	}()
-	return &WorkerServer{wl: wl, worker: w, addr: ln.Addr().String()}, nil
+	return ws, nil
 }
 
 // Addr returns the bound listen address.
@@ -455,7 +498,22 @@ func (s *WorkerServer) Worker() *Worker { return s.worker }
 
 // Close stops accepting and severs every live connection immediately — the
 // workstation-crash behavior used by fault tests.
-func (s *WorkerServer) Close() error { return s.wl.Close() }
+func (s *WorkerServer) Close() error {
+	err := s.wl.Close()
+	s.closePeers()
+	return err
+}
+
+// closePeers tears down the peer-protocol halves: the client's connections
+// to siblings and any server-side calls parked on chaos hangs.
+func (s *WorkerServer) closePeers() {
+	if s.peerClient != nil {
+		s.peerClient.Close()
+	}
+	if s.peerSvc != nil {
+		s.peerSvc.Close()
+	}
+}
 
 // Shutdown stops accepting new connections, refuses new compiles, waits up
 // to grace for in-flight compiles to finish, then severs the remaining
@@ -468,6 +526,7 @@ func (s *WorkerServer) Shutdown(grace time.Duration) error {
 	// wire before severing.
 	time.Sleep(50 * time.Millisecond)
 	s.wl.Close()
+	s.closePeers()
 	if !drained {
 		return codeErr(CodeUnavailable, "worker: grace period expired with compiles in flight")
 	}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fcache"
+	"repro/internal/peercache"
 )
 
 // PoolOptions configures the RPCPool's fault-tolerant dispatch. The zero
@@ -53,6 +54,13 @@ type PoolOptions struct {
 	// warpcc process short-circuits unchanged functions from a previous
 	// process's work. Empty means environment-default.
 	CacheDir string
+	// Peers attaches a peer-to-peer fill tier (internal/peercache) to the
+	// master-side cache: section masters batch-prefetch predicted-hot
+	// objects from these addresses before dispatching, so a cold master in
+	// a warm fleet syncs artifacts instead of recompiling. Worker addresses
+	// double as peer addresses (the "Peer" service shares each worker's
+	// listener). Unreachable peers are skipped — the tier is best-effort.
+	Peers []string
 }
 
 // withDefaults fills unset fields.
@@ -177,6 +185,9 @@ type RPCPool struct {
 	// frontend every compilation), and local-fallback compiles share it so
 	// a whole module falling back parses once, like a LocalPool.
 	masterCache *fcache.Cache
+	// peerClient is the master's view of the peer fleet (nil without
+	// opts.Peers), attached to masterCache as its fill tier.
+	peerClient *peercache.Peers
 
 	mu      sync.Mutex
 	healthy int // workers not quarantined (free or checked out)
@@ -210,6 +221,11 @@ func DialPoolWith(addrs []string, opts PoolOptions) (*RPCPool, error) {
 		closed:      make(chan struct{}),
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		masterCache: masterCache,
+	}
+	if len(opts.Peers) > 0 {
+		p.peerClient = peercache.New(peercache.ClientOptions{})
+		p.peerClient.Connect(opts.Peers...)
+		masterCache.AttachPeers(p.peerClient)
 	}
 	var firstErr error
 	for _, a := range addrs {
@@ -854,12 +870,26 @@ func (p *RPCPool) CacheStats() fcache.Stats {
 	}
 	s.RPCBytesSaved += atomic.LoadInt64(&p.bytesSaved)
 	s.SourcePushes += atomic.LoadInt64(&p.pushes)
+	// The master's own peer traffic (prefetch before dispatch, fills on
+	// local fallback) lives in the master cache, not any worker's. Merge
+	// just its peer counters so the aggregate keeps meaning "the compile's
+	// peer activity" without double-counting the memory/disk tiers.
+	ms := p.masterCache.Stats()
+	s.PeerHits += ms.PeerHits
+	s.PeerMisses += ms.PeerMisses
+	s.PeerErrors += ms.PeerErrors
+	s.PeerBytes += ms.PeerBytes
+	s.PeerPrefetched += ms.PeerPrefetched
+	s.PeerServed += ms.PeerServed
 	return s
 }
 
 // Close tears down all connections and stops the readmission probe.
 func (p *RPCPool) Close() {
 	p.closeOnce.Do(func() { close(p.closed) })
+	if p.peerClient != nil {
+		p.peerClient.Close()
+	}
 	for _, w := range p.workers {
 		w.mu.Lock()
 		if w.client != nil {

@@ -17,15 +17,19 @@ import (
 // DefaultDiskMaxBytes is the default size cap of a disk-backed object tier.
 const DefaultDiskMaxBytes = 1 << 30
 
+// DefaultHardCapFactor scales the soft byte cap into the hard one for
+// replica-aware eviction: sole-holder entries may keep the tier above the
+// soft cap, but never above factor × cap.
+const DefaultHardCapFactor = 2
+
 // diskTier persists object-tier entries as content-addressed files so a
 // fresh process over the same directory starts warm. Layout and protocol:
 //
 //   - Each entry is one file named o-<sha256hex(cache key)>.wfc holding a
-//     gob diskRecord{Key, Payload, Sum}: the full cache key (so a filename
-//     collision can never alias), the gob-encoded ObjectEntry, and a
-//     checksum over both. A record whose checksum or key does not match is
-//     corrupt: it is deleted and reported as a miss, and the function is
-//     simply recompiled.
+//     checksummed record (record.go) framing the gob-encoded ObjectEntry
+//     under its full cache key (so a filename collision can never alias).
+//     A record whose checksum or key does not match is corrupt: it is
+//     deleted and reported as a miss, and the function is simply recompiled.
 //   - Writes go to an os.CreateTemp("tmp-*") file in the same directory and
 //     are renamed into place, so readers only ever observe complete records.
 //     A crash mid-write leaves a tmp-* file that no reader looks at; opening
@@ -37,12 +41,25 @@ const DefaultDiskMaxBytes = 1 << 30
 //   - The file mtime doubles as the access time: hits touch it, and when the
 //     directory exceeds its byte cap the oldest-mtime files are removed
 //     first.
+//
+// With a peer view attached (AttachPeers), eviction is fleet-aware: entries
+// some sibling also holds are redundant replicas and go first; entries this
+// tier is the last known holder of survive the soft cap and are evicted
+// oldest-first only once the directory exceeds the hard cap (hardMax).
+// Losing the last replica of a hash costs the whole fleet a recompile;
+// losing a redundant one costs a 32-byte refetch.
 type diskTier struct {
 	mu    sync.Mutex
 	dir   string
 	max   int64
+	hard  int64
 	used  int64
 	files map[string]diskFile // filename -> size and last access
+
+	// replicas reports how many peers are believed to hold the entry whose
+	// cache key digests to the argument (nil without a peer view). It is
+	// called with mu held and must not call back into the tier.
+	replicas func(digest [sha256.Size]byte) int
 }
 
 type diskFile struct {
@@ -50,24 +67,20 @@ type diskFile struct {
 	atime time.Time
 }
 
-type diskRecord struct {
-	Key     string
-	Payload []byte
-	Sum     [sha256.Size]byte
-}
-
-func recordSum(key string, payload []byte) [sha256.Size]byte {
-	h := sha256.New()
-	h.Write([]byte(key))
-	h.Write(payload)
-	var sum [sha256.Size]byte
-	copy(sum[:], h.Sum(nil))
-	return sum
-}
-
 func diskFileName(key string) string {
-	sum := sha256.Sum256([]byte(key))
+	sum := KeyDigest(key)
 	return "o-" + hex.EncodeToString(sum[:]) + ".wfc"
+}
+
+// digestOfName recovers the key digest encoded in an object file's name.
+func digestOfName(name string) (d [sha256.Size]byte, ok bool) {
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "o-"), ".wfc")
+	raw, err := hex.DecodeString(hexPart)
+	if err != nil || len(raw) != sha256.Size {
+		return d, false
+	}
+	copy(d[:], raw)
+	return d, true
 }
 
 // openDiskTier opens (creating if needed) dir as a persistent object tier:
@@ -84,7 +97,7 @@ func openDiskTier(dir string, maxBytes int64) (*diskTier, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &diskTier{dir: dir, max: maxBytes, files: make(map[string]diskFile)}
+	d := &diskTier{dir: dir, max: maxBytes, hard: DefaultHardCapFactor * maxBytes, files: make(map[string]diskFile)}
 	for _, e := range entries {
 		name := e.Name()
 		switch {
@@ -105,6 +118,22 @@ func openDiskTier(dir string, maxBytes int64) (*diskTier, error) {
 	return d, nil
 }
 
+// digests lists the key digests of every resident object file — the disk
+// tier's contribution to the peer protocol's Bloom summary. Filenames are
+// the digests, so a freshly scanned directory is summarizable without
+// reading a single record.
+func (d *diskTier) digests() [][sha256.Size]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([][sha256.Size]byte, 0, len(d.files))
+	for name := range d.files {
+		if dg, ok := digestOfName(name); ok {
+			out = append(out, dg)
+		}
+	}
+	return out
+}
+
 // load reads the entry stored under key. ok=false with a nil error is a
 // plain miss; a non-nil error means a corrupt entry was found and deleted.
 func (d *diskTier) load(key string) (*ObjectEntry, bool, error) {
@@ -115,17 +144,17 @@ func (d *diskTier) load(key string) (*ObjectEntry, bool, error) {
 		d.forget(name)
 		return nil, false, nil // miss (possibly evicted by another process)
 	}
-	var rec diskRecord
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+	gotKey, payload, err := DecodeRecord(data)
+	if err != nil {
 		d.discard(name)
-		return nil, false, fmt.Errorf("disk cache: undecodable record %s: %v", name, err)
+		return nil, false, fmt.Errorf("disk cache: %s: %v", name, err)
 	}
-	if rec.Key != key || rec.Sum != recordSum(rec.Key, rec.Payload) {
+	if gotKey != key {
 		d.discard(name)
-		return nil, false, fmt.Errorf("disk cache: checksum mismatch in %s", name)
+		return nil, false, fmt.Errorf("disk cache: key mismatch in %s", name)
 	}
 	var e ObjectEntry
-	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&e); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
 		d.discard(name)
 		return nil, false, fmt.Errorf("disk cache: undecodable entry %s: %v", name, err)
 	}
@@ -162,37 +191,21 @@ func (d *diskTier) store(key string, e *ObjectEntry) (written bool, evicted int6
 	if err := gob.NewEncoder(&payload).Encode(e); err != nil {
 		return false, 0, err
 	}
-	rec := diskRecord{Key: key, Payload: payload.Bytes()}
-	rec.Sum = recordSum(rec.Key, rec.Payload)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
-		return false, 0, err
-	}
-	if int64(buf.Len()) > d.max {
-		return false, 0, nil // larger than the whole tier: never persisted
-	}
-
-	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	data, err := EncodeRecord(key, payload.Bytes())
 	if err != nil {
 		return false, 0, err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return false, 0, err
+	if int64(len(data)) > d.max {
+		return false, 0, nil // larger than the whole tier: never persisted
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return false, 0, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+
+	if err := atomicWrite(d.dir, path, data); err != nil {
 		return false, 0, err
 	}
 
 	d.mu.Lock()
-	d.files[name] = diskFile{size: int64(buf.Len()), atime: time.Now()}
-	d.used += int64(buf.Len())
+	d.files[name] = diskFile{size: int64(len(data)), atime: time.Now()}
+	d.used += int64(len(data))
 	evicted = d.evictLocked()
 	d.mu.Unlock()
 	return true, evicted, nil
@@ -215,8 +228,21 @@ func (d *diskTier) discard(name string) {
 	d.forget(name)
 }
 
-// evictLocked removes oldest-accessed files until the tier fits its cap,
-// returning the number removed. Caller holds d.mu.
+// setReplicas installs the peer view consulted by fleet-aware eviction.
+func (d *diskTier) setReplicas(f func(digest [sha256.Size]byte) int) {
+	d.mu.Lock()
+	d.replicas = f
+	d.mu.Unlock()
+}
+
+// evictLocked removes files until the tier fits its caps, returning the
+// number removed. Caller holds d.mu.
+//
+// Without a peer view this is plain LRU against the (soft) byte cap. With
+// one, redundant replicas — entries whose key digest some peer's summary
+// also claims — are evicted first, oldest-accessed first; entries this tier
+// believes it is the last holder of are kept past the soft cap and evicted
+// (again oldest first) only while the directory exceeds the hard cap.
 func (d *diskTier) evictLocked() int64 {
 	if d.used <= d.max {
 		return 0
@@ -230,14 +256,47 @@ func (d *diskTier) evictLocked() int64 {
 		all = append(all, aged{name, f})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].f.atime.Before(all[j].f.atime) })
+	remove := func(a aged) {
+		os.Remove(filepath.Join(d.dir, a.name))
+		d.used -= a.f.size
+		delete(d.files, a.name)
+	}
 	var n int64
+	if d.replicas == nil {
+		for _, a := range all {
+			if d.used <= d.max {
+				break
+			}
+			remove(a)
+			n++
+		}
+		return n
+	}
+	// Fleet-aware pass 1: redundant replicas go first. A digest that cannot
+	// be recovered from the filename is conservatively treated as
+	// sole-holder (protected until the hard cap).
+	removed := make(map[string]bool)
 	for _, a := range all {
 		if d.used <= d.max {
 			break
 		}
-		os.Remove(filepath.Join(d.dir, a.name))
-		d.used -= a.f.size
-		delete(d.files, a.name)
+		dg, ok := digestOfName(a.name)
+		if !ok || d.replicas(dg) < 1 {
+			continue
+		}
+		remove(a)
+		removed[a.name] = true
+		n++
+	}
+	// Pass 2: the last holder of a hash evicts it only past the hard cap.
+	for _, a := range all {
+		if d.used <= d.hard {
+			break
+		}
+		if removed[a.name] {
+			continue
+		}
+		remove(a)
 		n++
 	}
 	return n

@@ -1,0 +1,137 @@
+package fcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		key     string
+		payload []byte
+	}{
+		{"obj:abc:default", []byte("hello object bytes")},
+		{"cost-samples/v1", nil},
+		{"", []byte{0, 1, 2, 255}},
+		{strings.Repeat("k", 4096), bytes.Repeat([]byte{0xAA}, 1<<16)},
+	} {
+		data, err := EncodeRecord(tc.key, tc.payload)
+		if err != nil {
+			t.Fatalf("EncodeRecord(%q): %v", tc.key, err)
+		}
+		key, payload, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatalf("DecodeRecord(%q): %v", tc.key, err)
+		}
+		if key != tc.key {
+			t.Errorf("key = %q, want %q", key, tc.key)
+		}
+		if !bytes.Equal(payload, tc.payload) {
+			t.Errorf("payload mismatch for key %q", tc.key)
+		}
+	}
+}
+
+func TestRecordDetectsCorruption(t *testing.T) {
+	data, err := EncodeRecord("obj:k:default", []byte("payload payload payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte position in turn: corruption must either fail
+	// verification or — when the flip lands in gob metadata the decoder
+	// ignores, e.g. the wire type name — decode to the exact original
+	// record. It must never hand back altered data as valid.
+	for i := range data {
+		bad := bytes.Clone(data)
+		bad[i] ^= 0x41
+		key, payload, err := DecodeRecord(bad)
+		if err != nil {
+			continue
+		}
+		if key != "obj:k:default" || !bytes.Equal(payload, []byte("payload payload payload")) {
+			t.Fatalf("flip at %d accepted with altered data: key=%q len(payload)=%d", i, key, len(payload))
+		}
+	}
+}
+
+func TestRecordDetectsTruncation(t *testing.T) {
+	data, err := EncodeRecord("obj:k:default", []byte("some payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if _, _, err := DecodeRecord(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestRecordWrongKeyIsCallerChecked(t *testing.T) {
+	// A frame stored under one key is internally valid; the caller must
+	// compare the returned key against the one it asked for. Verify the
+	// returned key is trustworthy (bound by the checksum).
+	data, err := EncodeRecord("obj:other:default", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "obj:other:default" {
+		t.Fatalf("key = %q", key)
+	}
+}
+
+func TestKeyDigestMatchesDiskName(t *testing.T) {
+	key := "obj:deadbeef:default"
+	want := sha256.Sum256([]byte(key))
+	if got := KeyDigest(key); got != want {
+		t.Fatalf("KeyDigest = %x, want %x", got, want)
+	}
+	name := diskFileName(key)
+	dg, ok := digestOfName(name)
+	if !ok {
+		t.Fatalf("digestOfName(%q) failed", name)
+	}
+	if dg != want {
+		t.Fatalf("digestOfName(%q) = %x, want %x", name, dg, want)
+	}
+	if _, ok := digestOfName("tmp-123"); ok {
+		t.Fatal("digestOfName accepted a tmp file name")
+	}
+	if _, ok := digestOfName("o-nothex.wfc"); ok {
+		t.Fatal("digestOfName accepted non-hex")
+	}
+}
+
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := atomicWrite(dir, path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWrite(dir, path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

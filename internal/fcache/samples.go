@@ -52,15 +52,12 @@ func (c *Cache) CostSamples() []sched.CostSample {
 		c.mu.Unlock()
 		return nil
 	}
-	var rec diskRecord
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
-		return corrupt()
-	}
-	if rec.Key != costSamplesKey || rec.Sum != recordSum(rec.Key, rec.Payload) {
+	key, payload, err := DecodeRecord(data)
+	if err != nil || key != costSamplesKey {
 		return corrupt()
 	}
 	var samples []sched.CostSample
-	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&samples); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&samples); err != nil {
 		return corrupt()
 	}
 	return samples
@@ -88,28 +85,9 @@ func (c *Cache) PutCostSamples(samples []sched.CostSample) error {
 	if err := gob.NewEncoder(&payload).Encode(samples); err != nil {
 		return err
 	}
-	rec := diskRecord{Key: costSamplesKey, Payload: payload.Bytes()}
-	rec.Sum = recordSum(rec.Key, rec.Payload)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	data, err := EncodeRecord(costSamplesKey, payload.Bytes())
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, costSamplesFile)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicWrite(d.dir, filepath.Join(d.dir, costSamplesFile), data)
 }

@@ -1,0 +1,86 @@
+package peercache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Bloom is the per-peer summary of "which key digests might I hold". A peer
+// builds one over its cache's ObjectDigests and ships it on connect; the
+// receiving side tests candidate digests against it to pick fetch targets
+// without ever exchanging key lists. False positives are harmless (a fetch
+// that answers "not found" falls through to the next holder or a local
+// compile); false negatives cannot happen for digests that were present
+// when the summary was built — staleness is handled separately via the
+// generation stamp piggybacked on every fetch reply.
+//
+// The digests are SHA-256 outputs (fcache.KeyDigest), already uniformly
+// distributed, so the filter needs no hashing of its own: the k bit indexes
+// are read straight out of the digest, 4 bytes each. The bit count is a
+// power of two (masking instead of mod) sized at ~12 bits per expected
+// element, which with k=4 keeps the false-positive rate around 0.3%.
+type Bloom struct {
+	bits []uint64
+	mask uint32 // len(bits)*64 - 1
+}
+
+// bloomK is how many bits each digest sets/tests. At 4, a digest consumes
+// digest[0:16] — well within SHA-256's 32 bytes.
+const bloomK = 4
+
+// NewBloom returns a filter sized for about n elements (n < 1 is treated
+// as 1).
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	bits := 64
+	for bits < 12*n {
+		bits <<= 1
+	}
+	return &Bloom{bits: make([]uint64, bits/64), mask: uint32(bits - 1)}
+}
+
+// Add records a digest.
+func (b *Bloom) Add(d [sha256.Size]byte) {
+	for i := 0; i < bloomK; i++ {
+		idx := binary.BigEndian.Uint32(d[4*i:]) & b.mask
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// Has reports whether a digest might have been added (false positives
+// possible, false negatives not).
+func (b *Bloom) Has(d [sha256.Size]byte) bool {
+	if b == nil || len(b.bits) == 0 {
+		return false
+	}
+	for i := 0; i < bloomK; i++ {
+		idx := binary.BigEndian.Uint32(d[4*i:]) & b.mask
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BloomWire is the gob-encodable form of a Bloom, exchanged in Summary
+// replies.
+type BloomWire struct {
+	Bits []uint64
+}
+
+// Wire returns the filter in wire form. The returned slice aliases the
+// filter; summaries are built fresh per reply, so nothing mutates it after.
+func (b *Bloom) Wire() BloomWire { return BloomWire{Bits: b.bits} }
+
+// FromWire reconstructs a filter from its wire form. A malformed wire
+// (zero or non-power-of-two word count) yields an empty filter that
+// answers Has=false for everything.
+func FromWire(w BloomWire) *Bloom {
+	n := len(w.Bits)
+	if n == 0 || n&(n-1) != 0 {
+		return &Bloom{}
+	}
+	return &Bloom{bits: w.Bits, mask: uint32(n*64 - 1)}
+}

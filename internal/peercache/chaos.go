@@ -1,0 +1,79 @@
+package peercache
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultKind enumerates the injectable peer-protocol faults. The peer tier
+// is an optimization layered over an always-correct fallback (the local
+// compile), so every fault here must degrade to "the client treats this
+// peer as useless and moves on" — the chaos suite verifies output stays
+// word-identical to sequential under each of them.
+type FaultKind int
+
+const (
+	// FaultPass serves the fetch normally.
+	FaultPass FaultKind = iota
+	// FaultHang blocks the fetch for D (default: until the service closes),
+	// driving the client's per-RPC deadline.
+	FaultHang
+	// FaultCorrupt serves the real record with bytes flipped, driving the
+	// client's checksum rejection.
+	FaultCorrupt
+	// FaultMiss answers "not found" regardless of holdings — a summary
+	// false positive or an entry evicted since the summary was taken.
+	FaultMiss
+	// FaultError answers an RPC error without serving.
+	FaultError
+	// FaultDrop severs the connection under the call — a peer crash. Only
+	// the standalone Server can inject it (it owns the conn); a Service
+	// registered on a shared RPC server degrades it to FaultError.
+	FaultDrop
+)
+
+// Fault is one scripted fault.
+type Fault struct {
+	Kind FaultKind
+	D    time.Duration // FaultHang duration (0 = until close)
+}
+
+// Plan scripts the faults applied to successive Fetch calls in global
+// arrival order; once the script is exhausted every call passes. Safe for
+// concurrent use. A nil *Plan passes everything.
+type Plan struct {
+	mu     sync.Mutex
+	script []Fault
+	next   int
+	calls  int
+}
+
+// Script returns a plan applying faults to the first len(faults) fetches in
+// order, then passing everything through.
+func Script(faults ...Fault) *Plan { return &Plan{script: faults} }
+
+// Calls reports how many fetches the plan has decided.
+func (p *Plan) Calls() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// take returns the fault for the next fetch.
+func (p *Plan) take() Fault {
+	if p == nil {
+		return Fault{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	if p.next < len(p.script) {
+		f := p.script[p.next]
+		p.next++
+		return f
+	}
+	return Fault{}
+}

@@ -1,0 +1,86 @@
+package wgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// The generators promise byte-identical output for identical parameters —
+// wgen -h documents this as a guarantee, and the content-addressed cache
+// tiers rely on it (a regenerated workload must hash to the same keys on
+// every machine). These golden SHA-256 digests pin one representative
+// program per kind; an intentional generator change must update them, and
+// the failure message prints the new digest to make that a one-line edit.
+var goldenPrograms = []struct {
+	name string
+	gen  func() []byte
+	sum  string
+}{
+	{"sn-medium-4", func() []byte { return SyntheticProgram(Medium, 4) },
+		"6f5dfd0aa27d3db2eec567ad372c3bc1668a39d867f814950660683c5e2c0b19"},
+	{"sections-small-3", func() []byte { return MultiSectionProgram(Small, 3) },
+		"93f8a8b2138c3549f49c018e27664d9fdc465fd540bdb746eacee6cd71fafcfc"},
+	{"user", UserProgram,
+		"bb754fcd3385eb41bcce1104991a7871429631f70f91e2abb96242e3d5a3c009"},
+	{"mixed-12", func() []byte { return MixedProgram(12) },
+		"5ff8ce5a274929e7e1944335d99ce4f7d88e758155af4afd77629e87fccbac3c"},
+	{"wide-32x4", func() []byte { return WideProgram(32, 4) },
+		"cdb6c5e0a768f43df8a499b141467f1402c9924a53b82ee51677ba2cda948ac6"},
+	{"skewed-4x12", func() []byte { return SkewedProgram(4, 12) },
+		"a75f9b51099d590531af465bde7cbe4a83f53a73ad6e6f72d57b3ff932b3434c"},
+	{"small-funcs-32", func() []byte { return SmallFuncsProgram(32) },
+		"c376717f612cc1dbfb6aee6edc07cf1aba6da1040242f1cd648d272a9318335c"},
+}
+
+func TestGoldenGeneratorOutput(t *testing.T) {
+	for _, g := range goldenPrograms {
+		t.Run(g.name, func(t *testing.T) {
+			sum := sha256.Sum256(g.gen())
+			if got := hex.EncodeToString(sum[:]); got != g.sum {
+				t.Errorf("generator output changed: sha256 = %s, pinned %s\n"+
+					"(if the change is intentional, update goldenPrograms)", got, g.sum)
+			}
+			// The guarantee is per-invocation too: a second call in the same
+			// process must reproduce the bytes exactly.
+			again := sha256.Sum256(g.gen())
+			if again != sum {
+				t.Errorf("generator not deterministic within one process")
+			}
+		})
+	}
+}
+
+// MutateFunctions is the only seeded path: the same (source, k, seed) must
+// pick the same functions and produce the same bytes, and a different seed
+// must not silently collapse to the same edit.
+func TestGoldenMutateDeterminism(t *testing.T) {
+	src := SyntheticProgram(Medium, 8)
+	m1, names1, err := MutateFunctions(src, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(m1)
+	const want = "928590961b172138abcdadf4f0b7d45d4299d9c7adf44233d2dbd68ed31d917f"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("mutated output changed: sha256 = %s, pinned %s", got, want)
+	}
+	if len(names1) != 2 || names1[0] != "medium_2" || names1[1] != "medium_8" {
+		t.Errorf("seed 7 picked %v, pinned [medium_2 medium_8]", names1)
+	}
+	m2, names2, err := MutateFunctions(src, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha256.Sum256(m2) != sum {
+		t.Errorf("same seed produced different bytes")
+	}
+	_ = names2
+	m3, _, err := MutateFunctions(src, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha256.Sum256(m3) == sum {
+		t.Errorf("seed 8 produced identical bytes to seed 7")
+	}
+}
