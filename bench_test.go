@@ -11,7 +11,11 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/codegen"
@@ -20,6 +24,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/fcache"
+	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/warpsim"
 	"repro/internal/wgen"
@@ -581,6 +586,111 @@ func BenchmarkStealDispatch(b *testing.B) {
 				idle += d.Nanoseconds()
 			}
 			b.ReportMetric(float64(idle), "idle_total_ns")
+		})
+	}
+}
+
+// BenchmarkCrossBuildSteal measures the daemon-lifetime shared stealing
+// fleet against per-build fleets (warpd -per-build-fleets) on the
+// cross-build workload the sharing targets: two tenants submit overlapped
+// jobs — one skewed (a straggler section of heavy functions), one mixed
+// (one huge function plus many tiny ones) — so each build's straggler
+// tail leaves slots idle exactly while the co-tenant has queued units to
+// steal. Jobs go through the real wire protocol (admission, tokens,
+// per-job stat scoping) and the pool is uncached, so every job is a
+// genuine cold build. Reported per mode: p95 job latency, job throughput,
+// and the fleet's cumulative steal/cross-build-steal counters (zero under
+// per-build fleets, where no foreign queue is reachable). On a single-CPU
+// host both modes sit at the core-bound parity ceiling documented in
+// BENCH_xsteal.json; the cross-build steal counts and the per-slot idle
+// decomposition are the signal that the machinery fires.
+func BenchmarkCrossBuildSteal(b *testing.B) {
+	srcA := wgen.SkewedProgram(2, 4)
+	srcB := wgen.MixedProgram(24)
+	for _, mode := range []struct {
+		name     string
+		perBuild bool
+	}{
+		{"shared-fleet", false},
+		{"per-build-fleets", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.Setenv(fcache.EnvCacheDir, "") // no ambient disk tier: every job is a cold build
+			d, err := service.NewDaemon(service.Config{
+				Backend:        cluster.NewLocalPoolWith(4, nil),
+				MaxActive:      2,
+				PerBuildFleets: mode.perBuild,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go d.Serve(ln)
+			defer func() {
+				if err := d.Shutdown(30 * time.Second); err != nil {
+					b.Error(err)
+				}
+				ln.Close()
+			}()
+			tenants := []struct {
+				ident string
+				file  string
+				src   []byte
+			}{
+				{"tenant-a", "a.w2", srcA},
+				{"tenant-b", "b.w2", srcB},
+			}
+			clients := make([]*service.Client, len(tenants))
+			for i, tn := range tenants {
+				cl, err := service.Dial(ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl.SetIdentity(tn.ident)
+				defer cl.Close()
+				clients[i] = cl
+			}
+			var (
+				mu  sync.Mutex
+				lat []time.Duration
+			)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, len(tenants))
+				for j, tn := range tenants {
+					wg.Add(1)
+					go func(j int, cl *service.Client, file string, src []byte) {
+						defer wg.Done()
+						start := time.Now()
+						_, err := cl.Compile(context.Background(), file, src, compiler.Options{}, core.ParallelOptions{})
+						errs[j] = err
+						mu.Lock()
+						lat = append(lat, time.Since(start))
+						mu.Unlock()
+					}(j, clients[j], tn.file, tn.src)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p95 := lat[(len(lat)*95-1)/100]
+			b.ReportMetric(float64(p95.Nanoseconds()), "p95_job_ns")
+			b.ReportMetric(float64(len(lat))/b.Elapsed().Seconds(), "jobs_per_sec")
+			ds, err := clients[0].Stats(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(ds.FleetSteals), "fleet_steals")
+			b.ReportMetric(float64(ds.FleetCrossBuildSteals), "cross_build_steals")
 		})
 	}
 }

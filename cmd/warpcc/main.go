@@ -10,6 +10,8 @@
 //
 //	-mode seq|par|rpc     compilation mode (default seq)
 //	-daemon ADDR          compile via a running warpd daemon instead (unix:/path or host:port)
+//	-daemon-retries N     bounded resubmits when the daemon sheds with
+//	                      warp-err:overloaded, waiting out its RetryAfter hint
 //	-j N                  worker count for -mode par (default 4)
 //	-workers host:port,.. worker addresses for -mode rpc
 //	-sched fcfs|lpt       dispatch ordering (default lpt: cost-model + batching)
@@ -59,22 +61,23 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "seq", "compilation mode: seq, par, or rpc")
-		jobs       = flag.Int("j", 4, "worker count for -mode par")
-		workers    = flag.String("workers", "", "comma-separated worker addresses for -mode rpc")
-		listing    = flag.Bool("S", false, "print assembly listings")
-		run        = flag.Bool("run", false, "run the compiled module on the array simulator")
-		inputCSV   = flag.String("in", "", "comma-separated input stream values for -run")
-		verify     = flag.Bool("verify", false, "verify parallel output against sequential")
-		noPipeline = flag.Bool("no-pipeline", false, "disable software pipelining")
-		noSched    = flag.Bool("no-sched", false, "disable instruction scheduling")
-		noCache    = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
-		cacheDir   = flag.String("cache-dir", "", "disk-backed object cache directory for par/rpc modes (persists across runs; overrides WARP_CACHE_DIR)")
-		peersCSV   = flag.String("peers", "", "comma-separated peer-cache addresses (workers or daemons) to batch-prefetch finished objects from before dispatch")
-		showStats  = flag.Bool("stats", false, "print per-function statistics")
-		statsJSON  = flag.Bool("stats-json", false, "emit the parallel-compilation stats as one JSON object on stderr (durations in nanoseconds; rank-corr 0 when not computed)")
-		daemonAddr = flag.String("daemon", "", "compile via a running warpd daemon at this address (unix:/path or host:port) instead of -mode")
-		clientID   = flag.String("client", "", "fair-share identity sent to the daemon (default: the connection address)")
+		mode          = flag.String("mode", "seq", "compilation mode: seq, par, or rpc")
+		jobs          = flag.Int("j", 4, "worker count for -mode par")
+		workers       = flag.String("workers", "", "comma-separated worker addresses for -mode rpc")
+		listing       = flag.Bool("S", false, "print assembly listings")
+		run           = flag.Bool("run", false, "run the compiled module on the array simulator")
+		inputCSV      = flag.String("in", "", "comma-separated input stream values for -run")
+		verify        = flag.Bool("verify", false, "verify parallel output against sequential")
+		noPipeline    = flag.Bool("no-pipeline", false, "disable software pipelining")
+		noSched       = flag.Bool("no-sched", false, "disable instruction scheduling")
+		noCache       = flag.Bool("no-cache", false, "disable the artifact cache in -mode par")
+		cacheDir      = flag.String("cache-dir", "", "disk-backed object cache directory for par/rpc modes (persists across runs; overrides WARP_CACHE_DIR)")
+		peersCSV      = flag.String("peers", "", "comma-separated peer-cache addresses (workers or daemons) to batch-prefetch finished objects from before dispatch")
+		showStats     = flag.Bool("stats", false, "print per-function statistics")
+		statsJSON     = flag.Bool("stats-json", false, "emit the parallel-compilation stats as one JSON object on stderr (durations in nanoseconds; rank-corr 0 when not computed)")
+		daemonAddr    = flag.String("daemon", "", "compile via a running warpd daemon at this address (unix:/path or host:port) instead of -mode")
+		clientID      = flag.String("client", "", "fair-share identity sent to the daemon (default: the connection address)")
+		daemonRetries = flag.Int("daemon-retries", 3, "max resubmits after warp-err:overloaded, honoring the daemon's RetryAfter hint (0 surfaces the shed immediately)")
 
 		schedName      = flag.String("sched", "lpt", "dispatch ordering for par/rpc modes: fcfs (the paper's measured system) or lpt (cost-model ordering + batching)")
 		noSteal        = flag.Bool("no-steal", false, "disable the global work-stealing scheduler (static per-section dispatch, the measured baseline)")
@@ -133,7 +136,7 @@ func main() {
 	var pstats *core.ParallelStats
 	switch {
 	case *daemonAddr != "":
-		res, pstats, err = daemonCompile(*daemonAddr, *clientID, file, src, opts, copts)
+		res, pstats, err = daemonCompile(*daemonAddr, *clientID, file, src, opts, copts, *daemonRetries)
 	case *mode == "seq":
 		res, err = compiler.CompileModule(file, src, opts)
 	case *mode == "par":
@@ -282,7 +285,13 @@ func main() {
 // daemonCompile submits the job to a running warpd and adapts its reply
 // to the local result shape (function objects stay in the daemon, so
 // FuncResult.Object is nil and -S prints nothing).
-func daemonCompile(addr, clientID, file string, src []byte, opts compiler.Options, copts core.ParallelOptions) (*compiler.Result, *core.ParallelStats, error) {
+//
+// An overloaded daemon sheds with warp-err:overloaded and a RetryAfter
+// hint (its smoothed job service time scaled by queue depth). Rather than
+// surfacing the shed, the client waits the hint out and resubmits, up to
+// retries times with the hint as the base of an exponential backoff — an
+// edit-loop client rides out a burst instead of failing the build.
+func daemonCompile(addr, clientID, file string, src []byte, opts compiler.Options, copts core.ParallelOptions, retries int) (*compiler.Result, *core.ParallelStats, error) {
 	cl, err := service.Dial(addr)
 	if err != nil {
 		return nil, nil, err
@@ -291,10 +300,33 @@ func daemonCompile(addr, clientID, file string, src []byte, opts compiler.Option
 	if clientID != "" {
 		cl.SetIdentity(clientID)
 	}
-	resp, err := cl.Compile(context.Background(), file, src, opts, copts)
-	if err != nil {
+	var resp *service.Response
+	for attempt := 0; ; attempt++ {
+		resp, err = cl.Compile(context.Background(), file, src, opts, copts)
+		if err == nil {
+			break
+		}
 		var re *service.RemoteError
-		if errors.As(err, &re) && cluster.CodeOf(re).Retryable() && re.RetryAfter > 0 {
+		if !errors.As(err, &re) {
+			return nil, nil, err
+		}
+		if cluster.CodeOf(re) == cluster.CodeOverloaded && attempt < retries {
+			delay := re.RetryAfter
+			if delay <= 0 {
+				delay = 100 * time.Millisecond
+			}
+			for i := 0; i < attempt; i++ {
+				delay *= 2
+			}
+			if delay > 5*time.Second {
+				delay = 5 * time.Second
+			}
+			fmt.Fprintf(os.Stderr, "warpcc: daemon overloaded, retrying in %v (%d/%d)\n",
+				delay.Round(time.Millisecond), attempt+1, retries)
+			time.Sleep(delay)
+			continue
+		}
+		if cluster.CodeOf(re).Retryable() && re.RetryAfter > 0 {
 			return nil, nil, fmt.Errorf("%w (daemon suggests retrying in %v)", re, re.RetryAfter)
 		}
 		return nil, nil, err
@@ -374,8 +406,12 @@ func printParallelStats(s *core.ParallelStats) {
 		for _, d := range st.IdleTime {
 			idle += d
 		}
-		fmt.Printf("steal: steals=%d batch-splits=%d steal-latency=%v idle-total=%v model=%s%s\n",
-			st.Steals, st.BatchSplits, st.StealLatency.Round(1000), idle.Round(1000), fit, corr)
+		fleet := "private"
+		if st.Shared {
+			fleet = "shared"
+		}
+		fmt.Printf("steal: steals=%d cross-build=%d batch-splits=%d steal-latency=%v idle-total=%v fleet=%s model=%s%s\n",
+			st.Steals, st.CrossBuildSteals, st.BatchSplits, st.StealLatency.Round(1000), idle.Round(1000), fleet, fit, corr)
 	}
 	fmt.Printf("incremental: unchanged=%d worker-hits=%d recompiled=%d recompile-ratio=%.2f\n",
 		d.UnchangedFuncs, d.IncrementalHits, d.RecompiledFuncs, d.RecompileRatio)

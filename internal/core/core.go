@@ -405,6 +405,26 @@ type ParallelOptions struct {
 	// arbitration at the backend). It exists as the measured baseline for
 	// stealing, the way Barrier is the baseline for the pipeline.
 	NoSteal bool
+
+	// fleet, when non-nil, is a daemon-lifetime shared stealing fleet this
+	// build dispatches through instead of constructing its own; tenant is
+	// the fair-share identity its units are tagged with (the same client
+	// identity the daemon's Admitter queues by). Unexported on purpose:
+	// the handle is set server-side via WithFleet and never crosses the
+	// wire — gob skips unexported fields, so clients submit plain options
+	// and dedup keys built from wire options stay fleet-free.
+	fleet  *sched.Fleet
+	tenant string
+}
+
+// WithFleet returns a copy of the options that dispatches through the given
+// shared fleet under the given fair-share tenant identity. The daemon calls
+// this after admission; standalone builds never do and keep their private
+// per-build fleet.
+func (o ParallelOptions) WithFleet(f *sched.Fleet, tenant string) ParallelOptions {
+	o.fleet = f
+	o.tenant = tenant
+	return o
 }
 
 // normalized resolves the zero-value defaults.
@@ -465,19 +485,27 @@ type DispatchStats struct {
 // static formula. All zero (Enabled=false) under ParallelOptions.NoSteal.
 type StealStats struct {
 	// Enabled reports that the work-stealing fleet dispatched this build.
+	// Shared reports that the fleet was a daemon-lifetime one multiplexing
+	// concurrent builds (false for the standalone per-build fleet).
 	Enabled bool
-	// Steals counts steal operations (an idle slot taking queued work from
-	// another slot); BatchSplits the subset that cracked a queued
-	// multi-function batch open mid-flight because the victim had nothing
-	// else to give.
-	Steals      int
-	BatchSplits int
+	Shared  bool
+	// Steals counts steal operations that took this build's queued work (an
+	// idle slot raiding another slot's deque); CrossBuildSteals the subset
+	// where the thieving slot's previous unit belonged to a different build
+	// — only possible on a shared fleet; BatchSplits the subset that
+	// cracked a queued multi-function batch open mid-flight because the
+	// victim had nothing else to give.
+	Steals           int
+	CrossBuildSteals int
+	BatchSplits      int
 	// StealLatency totals the time thieving slots spent between running dry
-	// and acquiring stolen work.
+	// and acquiring this build's stolen work.
 	StealLatency time.Duration
 	// IdleTime decomposes starvation per dispatch slot: total time each
 	// slot spent parked with no work anywhere — the straggler overhead the
-	// stealer exists to shrink.
+	// stealer exists to shrink. On a shared fleet this is the fleet-wide
+	// idle accrued during this job's window (approximate under overlap,
+	// the way FaultStats deltas are).
 	IdleTime []time.Duration
 	// ModelFitted reports that the cost model was fitted from persisted
 	// samples (false on a cold cache or when the fit failed its guards);
@@ -491,6 +519,20 @@ type StealStats struct {
 	// recorded sample window.
 	FittedRankCorr float64
 	StaticRankCorr float64
+}
+
+// idleDelta subtracts a per-slot idle snapshot taken at build open from one
+// taken at build close, scoping a shared fleet's lifetime idle accounting
+// to this job's window. On a private fleet base is effectively zero.
+func idleDelta(now, base []time.Duration) []time.Duration {
+	out := make([]time.Duration, len(now))
+	for i := range now {
+		out[i] = now[i]
+		if i < len(base) {
+			out[i] -= base[i]
+		}
+	}
+	return out
 }
 
 // PipelineStats records how much of the master's sequential head and tail
@@ -658,26 +700,44 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 		masterCache = cp.Cache()
 	}
 
-	// The self-tuning cost model: fit against the persisted sample window
-	// (empty without a disk tier — then Fit returns the static formula).
-	// Fitting is guarded: fewer than 3 samples, a degenerate system, or a
-	// fit that ranks the window worse than the static formula all keep the
-	// paper's heuristic.
-	persisted := masterCache.CostSamples()
-	model := sched.Fit(persisted)
+	// The self-tuning cost model: fitted against the persisted sample window
+	// (empty without a disk tier — then Fit returns the static formula) and
+	// memoized in the cache keyed on the record's stat, so back-to-back jobs
+	// in a daemon pay one stat call, not a re-read and re-fit. Fitting is
+	// guarded: fewer than 3 samples, a degenerate system, or a fit that
+	// ranks the window worse than the static formula all keep the paper's
+	// heuristic.
+	model, persisted := masterCache.FittedCostModel()
 	stats.Steal.ModelFitted = model.Fitted
 	stats.Steal.SampleCount = len(persisted)
 
 	// The work-stealing fleet: one set of dispatch slots shared by every
-	// section master, sized to the backend, so a straggler section's queue
-	// is drained by its siblings' idle slots instead of waiting on its own.
-	// Registered before cancel() so the deferred LIFO runs cancel first:
-	// whatever is still queued when we unwind drains as immediate no-ops.
-	var stealer *sched.Stealer
+	// section master, so a straggler section's queue is drained by its
+	// siblings' idle slots instead of waiting on its own. A standalone build
+	// sizes a private fleet to the backend and retires it on the way out;
+	// under warpd the daemon injects its daemon-lifetime fleet and this
+	// build only opens a tagged handle on it — completion waits on the
+	// build's own units, never the fleet's. Registered before cancel() so
+	// the deferred LIFO runs cancel first: whatever of this build is still
+	// queued when we unwind is dropped by Build.Close as cancelled orphans,
+	// and its in-flight units drain as immediate no-ops.
+	var (
+		build     *sched.Build
+		privFleet *sched.Fleet
+		fleetBase sched.StealStats
+	)
 	if !popts.NoSteal {
-		stealer = sched.NewStealer(backend.Workers())
-		defer stealer.Close()
+		fleet := popts.fleet
+		if fleet == nil {
+			privFleet = sched.NewFleet(backend.Workers())
+			fleet = privFleet
+			defer privFleet.Close()
+		}
+		build = fleet.Open(popts.tenant)
+		defer build.Close()
+		fleetBase = fleet.Stats()
 		stats.Steal.Enabled = true
+		stats.Steal.Shared = privFleet == nil
 	}
 
 	// With a peer fleet attached, the master batch-prefetches before any
@@ -731,7 +791,7 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 		regionStart = time.Now()
 		for i, so := range outline.Sections {
 			go func(i int, so parser.SectionOutline) {
-				r, err := runSectionMaster(ctx, file, src, srcHash, so, backend, masterCache, model, stealer, opts, popts)
+				r, err := runSectionMaster(ctx, file, src, srcHash, so, backend, masterCache, model, build, opts, popts)
 				secCh <- sectionDone{pos: i, res: r, err: err}
 			}(i, so)
 		}
@@ -902,18 +962,28 @@ func ParallelCompileContext(ctx context.Context, file string, src []byte, backen
 	stats.Dispatch.RankCorr = estimatorAccuracy(outline, stats.FuncCPU)
 	stats.Steal.StaticRankCorr = stats.Dispatch.RankCorr
 	stats.Steal.FittedRankCorr = estimatorAccuracyModel(outline, stats.FuncCPU, model)
-	if stealer != nil {
-		// All sections combined: the fleet is dry. Retire it now (Close is
-		// idempotent with the deferred one) and wait the slots out, so the
-		// idle-time decomposition ends at the last unit rather than
-		// accumulating through the link tail.
-		stealer.Close()
-		stealer.Wait()
-		ss := stealer.Stats()
-		stats.Steal.Steals = ss.Steals
-		stats.Steal.BatchSplits = ss.BatchSplits
-		stats.Steal.StealLatency = ss.StealLatency
-		stats.Steal.IdleTime = ss.IdleTime
+	if build != nil {
+		// All sections combined: every one of this build's units has been
+		// delivered, so Close (idempotent with the deferred one) settles the
+		// handle without waiting on sibling builds. A private fleet is
+		// retired outright so its idle decomposition ends at the last unit
+		// rather than accumulating through the link tail; on a shared fleet
+		// the idle delta since Open approximates this job's window.
+		build.Close()
+		bs := build.Stats()
+		stats.Steal.Steals = bs.Steals
+		stats.Steal.CrossBuildSteals = bs.CrossBuildSteals
+		stats.Steal.BatchSplits = bs.BatchSplits
+		stats.Steal.StealLatency = bs.StealLatency
+		var fs sched.StealStats
+		if privFleet != nil {
+			privFleet.Close()
+			privFleet.Wait()
+			fs = privFleet.Stats()
+		} else {
+			fs = popts.fleet.Stats()
+		}
+		stats.Steal.IdleTime = idleDelta(fs.IdleTime, fleetBase.IdleTime)
 	}
 	// Feed the estimator's loop: append this build's observations to the
 	// persisted window (PutCostSamples trims it and is a no-op without a
@@ -1046,12 +1116,12 @@ type unitDone struct {
 // answered on the spot and never reach sched.Plan, so the cost model only
 // schedules the functions that genuinely need compiling.
 //
-// With a non-nil stealer the planned units feed the shared work-stealing
+// With a non-nil build handle the planned units feed the work-stealing
 // fleet instead of private per-unit goroutines: execution order is whatever
 // steals make it, unit boundaries may change mid-flight (a steal can crack a
 // queued batch open), and the combine loop therefore counts remaining
 // *tasks*, not units. Emission stays keyed by declaration index either way.
-func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, model sched.Model, stealer *sched.Stealer, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
+func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcache.SourceHash, so parser.SectionOutline, backend Backend, masterCache *fcache.Cache, model sched.Model, build *sched.Build, opts compiler.Options, popts ParallelOptions) (*SectionResult, error) {
 	t0 := time.Now()
 	res := &SectionResult{
 		Section: so.Index,
@@ -1141,8 +1211,8 @@ func runSectionMaster(ctx context.Context, file string, src []byte, srcHash fcac
 		replies, err := dispatch(u)
 		done <- unitDone{unit: u, replies: replies, err: err}
 	}
-	if stealer != nil {
-		stealer.Submit(units, deliver)
+	if build != nil {
+		build.Submit(units, deliver)
 	} else {
 		for _, u := range units {
 			go deliver(u)

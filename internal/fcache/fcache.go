@@ -299,6 +299,11 @@ type Cache struct {
 	disk  *diskTier // nil without a persistent object tier
 	peers PeerView  // nil without a peer fill tier (AttachPeers)
 
+	// model memoizes the fitted scheduler cost model keyed on the samples
+	// record's (size, mtime), so back-to-back builds over an unchanged
+	// sample window skip the re-read and re-fit (see samples.go).
+	model costModelMemo
+
 	// objectGen counts object-tier arrivals (memory inserts of new obj:
 	// keys and disk writes). The peer protocol piggybacks it on fetch
 	// replies as a cheap staleness stamp for Bloom summaries: any change

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/sched"
 )
@@ -63,6 +64,80 @@ func (c *Cache) CostSamples() []sched.CostSample {
 	return samples
 }
 
+// costModelMemo caches the fitted cost model for the daemon's lifetime,
+// keyed on the samples record's stat. One daemon serves many jobs off one
+// cache, so the memo turns the per-job "read 512 samples, regress, rank"
+// into a stat call whenever nothing changed; PutCostSamples refreshes it
+// in place so the next job sees the updated fit without touching disk.
+type costModelMemo struct {
+	valid   bool
+	size    int64
+	mtime   time.Time
+	model   sched.Model
+	samples []sched.CostSample
+	fits    int64 // how many times Fit actually ran (test/diagnostic hook)
+}
+
+// FittedCostModel returns the scheduler cost model fitted over the
+// persisted sample window plus a private copy of the window itself,
+// memoized on the record file's (size, mtime). An external writer that
+// lands between the stat and the read can leave the memo one write stale;
+// the next call's stat catches it — samples are a scheduling hint, so a
+// briefly stale fit is harmless. Nil cache or no disk tier yields the
+// static model, like CostSamples.
+func (c *Cache) FittedCostModel() (sched.Model, []sched.CostSample) {
+	if c == nil {
+		return sched.Fit(nil), nil
+	}
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return sched.Fit(nil), nil
+	}
+	st, err := os.Stat(filepath.Join(d.dir, costSamplesFile))
+	if err != nil {
+		return sched.Fit(nil), nil // no samples recorded yet
+	}
+	c.mu.Lock()
+	if c.model.valid && c.model.size == st.Size() && c.model.mtime.Equal(st.ModTime()) {
+		m := c.model.model
+		s := append([]sched.CostSample(nil), c.model.samples...)
+		c.mu.Unlock()
+		return m, s
+	}
+	c.mu.Unlock()
+	samples := c.CostSamples() // full checksummed read; handles corruption
+	model := sched.Fit(samples)
+	c.memoizeModel(st, model, samples)
+	return model, append([]sched.CostSample(nil), samples...)
+}
+
+// ModelFitCount reports how many times this cache actually ran the cost
+// fit (as opposed to serving the memo) — a diagnostic for tests.
+func (c *Cache) ModelFitCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.model.fits
+}
+
+// memoizeModel installs a freshly fitted model. The memo keeps its own
+// copy of the sample slice: callers of FittedCostModel append observed
+// samples to what they got back, and PutCostSamples truncates in place —
+// neither may alias the memo's backing array.
+func (c *Cache) memoizeModel(st os.FileInfo, model sched.Model, samples []sched.CostSample) {
+	c.mu.Lock()
+	c.model = costModelMemo{
+		valid:   true,
+		size:    st.Size(),
+		mtime:   st.ModTime(),
+		model:   model,
+		samples: append([]sched.CostSample(nil), samples...),
+		fits:    c.model.fits + 1,
+	}
+	c.mu.Unlock()
+}
+
 // PutCostSamples persists the sample window (truncated to the most recent
 // CostSampleWindow entries), replacing any previous record via the disk
 // tier's tmp+rename protocol so readers only ever observe complete records.
@@ -89,5 +164,15 @@ func (c *Cache) PutCostSamples(samples []sched.CostSample) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(d.dir, filepath.Join(d.dir, costSamplesFile), data)
+	path := filepath.Join(d.dir, costSamplesFile)
+	if err := atomicWrite(d.dir, path, data); err != nil {
+		return err
+	}
+	// Refresh the memo eagerly: the writer already holds the trimmed window
+	// in memory, and re-fitting ~CostSampleWindow samples is microseconds —
+	// the next FittedCostModel call is then a pure stat hit.
+	if st, err := os.Stat(path); err == nil {
+		c.memoizeModel(st, sched.Fit(samples), samples)
+	}
+	return nil
 }

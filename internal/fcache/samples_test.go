@@ -165,3 +165,99 @@ func TestCostSamplesSurviveObjectEviction(t *testing.T) {
 		t.Fatalf("object eviction clobbered the sample record: got %d samples, want 8", len(got))
 	}
 }
+
+// TestFittedModelMemoized pins the daemon-level memo: one fit per change to
+// the samples record, stat-hits in between, and the returned window is a
+// private copy the caller may append to freely.
+func TestFittedModelMemoized(t *testing.T) {
+	dir := t.TempDir()
+	c := New(1 << 20)
+	if err := c.AttachDisk(dir, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutCostSamples(sampleWindow(32)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ModelFitCount(); got != 1 {
+		t.Fatalf("PutCostSamples must fit once, got %d fits", got)
+	}
+	m1, s1 := c.FittedCostModel()
+	m2, s2 := c.FittedCostModel()
+	if got := c.ModelFitCount(); got != 1 {
+		t.Fatalf("back-to-back reads over an unchanged window must not re-fit: %d fits", got)
+	}
+	if m1 != m2 || len(s1) != 32 || len(s2) != 32 {
+		t.Fatalf("memo hit must return the same model and window: %+v/%d vs %+v/%d", m1, len(s1), m2, len(s2))
+	}
+
+	// The returned slice is a copy: the per-job append of observed samples
+	// must not leak into what the next job is handed.
+	s1 = append(s1, sched.CostSample{Lines: 9999, Seconds: 1})
+	_, s3 := c.FittedCostModel()
+	if len(s3) != 32 {
+		t.Fatalf("caller append mutated the memoized window: %d samples", len(s3))
+	}
+
+	// A new Put refreshes the memo in place (one more fit, no read needed).
+	if err := c.PutCostSamples(sampleWindow(48)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ModelFitCount(); got != 2 {
+		t.Fatalf("PutCostSamples must refresh the memo with one fit, got %d", got)
+	}
+	if _, s := c.FittedCostModel(); len(s) != 48 {
+		t.Fatalf("memo not refreshed by Put: %d samples", len(s))
+	}
+	if got := c.ModelFitCount(); got != 2 {
+		t.Fatalf("read after Put must be a memo hit, got %d fits", got)
+	}
+}
+
+// TestFittedModelRefitsOnExternalChange: a second cache over the same
+// directory (another daemon, or warpcc racing warpd) rewrites the record;
+// the first cache's stat key no longer matches and it must re-read and
+// re-fit rather than serve the stale memo.
+func TestFittedModelRefitsOnExternalChange(t *testing.T) {
+	dir := t.TempDir()
+	a := New(1 << 20)
+	if err := a.AttachDisk(dir, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PutCostSamples(sampleWindow(16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := a.FittedCostModel(); len(s) != 16 {
+		t.Fatalf("want 16 samples, got %d", len(s))
+	}
+
+	b := New(1 << 20)
+	if err := b.AttachDisk(dir, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	// Different sample count => different record size, so the stat key
+	// changes even on filesystems with coarse mtimes.
+	if err := b.PutCostSamples(sampleWindow(24)); err != nil {
+		t.Fatal(err)
+	}
+	fits := a.ModelFitCount()
+	if _, s := a.FittedCostModel(); len(s) != 24 {
+		t.Fatalf("stale memo served after external rewrite: %d samples", len(s))
+	}
+	if got := a.ModelFitCount(); got != fits+1 {
+		t.Fatalf("external change must force exactly one re-fit: %d -> %d", fits, got)
+	}
+}
+
+// TestFittedModelNoDiskTier: memory-only caches fall back to the static
+// model without touching the memo machinery.
+func TestFittedModelNoDiskTier(t *testing.T) {
+	c := New(1 << 20)
+	m, s := c.FittedCostModel()
+	if m.Fitted || s != nil {
+		t.Fatalf("no disk tier must yield the static model and no samples: %+v %v", m, s)
+	}
+	var nilc *Cache
+	if m, s := nilc.FittedCostModel(); m.Fitted || s != nil {
+		t.Fatalf("nil cache must yield the static model: %+v %v", m, s)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/fcache"
+	"repro/internal/sched"
 )
 
 // Config parameterizes a Daemon. Backend is the only required field.
@@ -35,6 +36,12 @@ type Config struct {
 	// WriteTimeout bounds each response write so a hanging client that
 	// stops reading cannot wedge its connection goroutine (0 = 10s).
 	WriteTimeout time.Duration
+	// PerBuildFleets reverts to the pre-shared-fleet behavior: every job
+	// constructs and retires its own work-stealing fleet instead of
+	// dispatching through the daemon-lifetime shared one. Kept as the
+	// measured baseline for cross-build stealing (BenchmarkCrossBuildSteal),
+	// the way NoSteal is the baseline for stealing at all.
+	PerBuildFleets bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -73,6 +80,13 @@ type Daemon struct {
 	cfg    Config
 	admit  *Admitter
 	tokens *Bucket
+	// fleet is the daemon-lifetime work-stealing fleet every job dispatches
+	// through (nil under Config.PerBuildFleets): one set of slots sized to
+	// the backend, multiplexing all concurrent builds so one build's
+	// straggler tail is drained by slots another build left idle. Jobs tag
+	// their units with the same client identity the Admitter queues by, and
+	// victim selection is weighted by per-tenant service deficit.
+	fleet *sched.Fleet
 
 	baseCtx context.Context
 	stop    context.CancelFunc // hard stop: severs every job and conn
@@ -132,6 +146,13 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		flights:   make(map[flightKey]*flight),
 	}
 	d.repliesDone = sync.NewCond(&d.mu)
+	if !cfg.PerBuildFleets {
+		nslots := cfg.Backend.Workers()
+		if nslots < 1 {
+			nslots = 1
+		}
+		d.fleet = sched.NewFleet(nslots)
+	}
 	return d, nil
 }
 
@@ -420,9 +441,19 @@ func (d *Daemon) runFlight(key flightKey, f *flight, req *Request) {
 		defer cancel()
 	}
 
+	// Dispatch through the daemon-lifetime fleet (injected server-side: the
+	// wire options — and the dedup key derived from them — never carry the
+	// handle). The tenant tag is the same client identity the Admitter
+	// fair-shares by, so the fleet's deficit weighting and admission agree
+	// on who is starved.
+	popts := req.POpts
+	if d.fleet != nil && !popts.NoSteal {
+		popts = popts.WithFleet(d.fleet, req.Client)
+	}
+
 	snap := core.SnapshotBackendStats(d.cfg.Backend)
 	start := time.Now()
-	res, pstats, err := core.ParallelCompileContext(jobCtx, req.File, req.Source, d.cfg.Backend, req.Opts, req.POpts)
+	res, pstats, err := core.ParallelCompileContext(jobCtx, req.File, req.Source, d.cfg.Backend, req.Opts, popts)
 	if err != nil {
 		if jobCtx.Err() != nil {
 			f.err = fmt.Errorf("job cancelled: %w", err)
@@ -517,6 +548,12 @@ func (d *Daemon) snapshotStats() *DaemonStats {
 	active, queued := d.admit.Depth()
 	s.ActiveJobs, s.QueuedJobs = int64(active), int64(queued)
 	s.Tokens = d.tokens.Stats()
+	if d.fleet != nil {
+		fs := d.fleet.Stats()
+		s.FleetSteals = int64(fs.Steals)
+		s.FleetCrossBuildSteals = int64(fs.CrossBuildSteals)
+		s.FleetBatchSplits = int64(fs.BatchSplits)
+	}
 	return &s
 }
 
@@ -568,6 +605,13 @@ func (d *Daemon) Shutdown(grace time.Duration) error {
 	}
 	d.mu.Unlock()
 	d.connG.Wait()
+
+	// Every job has unwound (each closed its own Build handle), so the
+	// shared fleet is dry: retire the slot goroutines.
+	if d.fleet != nil {
+		d.fleet.Close()
+		d.fleet.Wait()
+	}
 
 	if n := d.tokens.Outstanding(); n != 0 {
 		return fmt.Errorf("service: %d parallelism token(s) leaked at shutdown", n)

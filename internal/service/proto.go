@@ -167,6 +167,13 @@ type DaemonStats struct {
 	Tokens TokenStats
 	// Clients is the number of currently connected clients.
 	Clients int64
+	// FleetSteals, FleetCrossBuildSteals, and FleetBatchSplits are the
+	// daemon-lifetime shared stealing fleet's cumulative rebalancing
+	// counters across every job served (all zero under
+	// Config.PerBuildFleets, where each job runs its own fleet).
+	FleetSteals           int64
+	FleetCrossBuildSteals int64
+	FleetBatchSplits      int64
 }
 
 // errResponse builds a coded failure response.
